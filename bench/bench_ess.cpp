@@ -1,0 +1,77 @@
+// Extension: the Evolutionary-Stability quantification (a second DSA
+// solution concept, cf. Sec. 3.2's "other solution concepts within DSA
+// could also be devised"). Measures how strongly ESS stability agrees with
+// PRA Robustness over a protocol sample, and reports the stability of the
+// paper's named protocols with their most successful invaders.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/ess.hpp"
+#include "stats/correlation.hpp"
+#include "swarming/dsa_model.hpp"
+#include "util/env.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+int main() {
+  bench::banner(
+      "Extension — ESS stability vs PRA robustness",
+      "(no paper counterpart) a protocol that wins 50-50 tournaments should "
+      "also resist small mutant groups; the two solution concepts must "
+      "broadly agree");
+
+  SimulationConfig sim;
+  sim.rounds = static_cast<std::size_t>(util::env_int("DSA_ROUNDS", 120));
+  const SwarmingModel model(sim, BandwidthDistribution::piatek());
+
+  core::EssConfig config;
+  config.mutant_sample =
+      static_cast<std::size_t>(util::env_int("DSA_OPPONENTS", 24));
+  const core::EssQuantifier ess(model, config);
+
+  // Stability of the named protocols, with their strongest invaders.
+  std::printf("\nStability of the paper's named protocols (10%% mutant "
+              "groups, %zu sampled mutants):\n",
+              config.mutant_sample);
+  util::TablePrinter named({"protocol", "stability", "example invader"});
+  const std::pair<const char*, ProtocolSpec> protocols[] = {
+      {"BitTorrent", bittorrent_protocol()},
+      {"Birds", birds_protocol()},
+      {"Loyal-When-needed", loyal_when_needed_protocol()},
+      {"Sort-S", sort_s_protocol()},
+  };
+  for (const auto& [name, spec] : protocols) {
+    const auto result = ess.stability_of(encode_protocol(spec));
+    std::string invader = "-";
+    if (!result.invaders.empty()) {
+      invader = decode_protocol(result.invaders.front().mutant).describe();
+    }
+    named.add_row({name, util::fixed(result.stability, 3), invader});
+  }
+  named.print(std::cout);
+
+  // Correlation with PRA robustness over the shared dataset sample.
+  const auto records = bench::dataset();
+  const auto stride = static_cast<std::size_t>(
+      util::env_int("DSA_ESS_STRIDE", 40));
+  std::vector<double> stability_values, robustness_values;
+  for (std::size_t i = 0; i < records.size(); i += stride) {
+    stability_values.push_back(
+        ess.stability_of(records[i].protocol).stability);
+    robustness_values.push_back(records[i].robustness);
+  }
+  const double rho = stats::pearson(stability_values, robustness_values);
+  const double rank_rho =
+      stats::spearman(stability_values, robustness_values);
+  std::printf("\nAgreement over %zu sampled protocols: Pearson %.3f, "
+              "Spearman %.3f\n",
+              stability_values.size(), rho, rank_rho);
+
+  bench::verdict(rho > 0.6,
+                 "the two solution concepts rank protocols consistently");
+  return 0;
+}

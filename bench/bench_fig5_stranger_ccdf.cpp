@@ -1,0 +1,69 @@
+// Figure 5: complementary CDF of Robustness per stranger policy — only the
+// When-needed policy reaches the very top robustness levels.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "swarming/protocol.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+int main() {
+  bench::banner(
+      "Fig. 5 — CCDF of Robustness per stranger policy",
+      "only protocols using the When-needed stranger policy reach the "
+      "highest robustness levels (> 0.99 in the paper's exhaustive run)");
+
+  const auto records = bench::dataset();
+
+  std::vector<double> by_policy[3];
+  for (const auto& rec : records) {
+    if (rec.spec.stranger_slots == 0) continue;  // the h = 0 singleton
+    by_policy[static_cast<std::size_t>(rec.spec.stranger_policy)].push_back(
+        rec.robustness);
+  }
+
+  const char* names[3] = {"Periodic", "WhenNeeded", "Defect"};
+  std::printf("\nCCDF series P(R > x):\n");
+  util::TablePrinter table({"x", "Periodic", "WhenNeeded", "Defect"});
+  std::vector<stats::Ccdf> ccdfs;
+  for (int p = 0; p < 3; ++p) ccdfs.emplace_back(by_policy[p]);
+  for (int i = 0; i <= 20; ++i) {
+    const double x = i / 20.0;
+    table.add_row({util::fixed(x, 2), util::fixed(ccdfs[0].at(x), 3),
+                   util::fixed(ccdfs[1].at(x), 3),
+                   util::fixed(ccdfs[2].at(x), 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nPer-policy robustness summary:\n");
+  util::TablePrinter summary(
+      {"policy", "n", "mean", "p90", "max"});
+  double max_r[3];
+  for (int p = 0; p < 3; ++p) {
+    max_r[p] = stats::max_value(by_policy[p]);
+    summary.add_row({names[p], std::to_string(by_policy[p].size()),
+                     util::fixed(stats::mean(by_policy[p]), 3),
+                     util::fixed(stats::percentile(by_policy[p], 0.9), 3),
+                     util::fixed(max_r[p], 3)});
+  }
+  summary.print(std::cout);
+
+  // The paper's separation: When-needed dominates at the very top and
+  // Defect is clearly the worst.
+  const bool when_needed_tops =
+      max_r[1] >= max_r[0] && max_r[1] >= max_r[2];
+  const bool defect_worst =
+      stats::mean(by_policy[2]) < stats::mean(by_policy[0]) &&
+      stats::mean(by_policy[2]) < stats::mean(by_policy[1]);
+  std::printf("\n");
+  bench::verdict(when_needed_tops && defect_worst,
+                 "When-needed reaches the top robustness levels; Defect has "
+                 "the worst robustness profile");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6: Robustness per resource-allocation policy ("bigger circles
+// represent better performance" in the paper; we report the joint summary).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "swarming/protocol.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+int main() {
+  bench::banner(
+      "Fig. 6 — Robustness by resource-allocation policy",
+      "Equal Split does well, but only Prop Share reaches the very top "
+      "robustness; Freeride is far below both");
+
+  const auto records = bench::dataset();
+
+  std::vector<double> robustness[3], performance[3];
+  for (const auto& rec : records) {
+    const auto a = static_cast<std::size_t>(rec.spec.allocation);
+    robustness[a].push_back(rec.robustness);
+    performance[a].push_back(rec.performance);
+  }
+
+  const char* names[3] = {"EqualSplit", "PropShare", "Freeride"};
+  util::TablePrinter table({"allocation", "n", "R mean", "R p75", "R p95",
+                            "R max", "P mean (circle size)"});
+  double max_r[3], mean_r[3];
+  for (int a = 0; a < 3; ++a) {
+    max_r[a] = stats::max_value(robustness[a]);
+    mean_r[a] = stats::mean(robustness[a]);
+    table.add_row({names[a], std::to_string(robustness[a].size()),
+                   util::fixed(mean_r[a], 3),
+                   util::fixed(stats::percentile(robustness[a], 0.75), 3),
+                   util::fixed(stats::percentile(robustness[a], 0.95), 3),
+                   util::fixed(max_r[a], 3),
+                   util::fixed(stats::mean(performance[a]), 3)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  // Which allocation owns the single most robust protocol?
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].robustness > records[best_idx].robustness) best_idx = i;
+  }
+  std::printf("\nMost robust protocol overall: R=%.3f  %s\n",
+              records[best_idx].robustness,
+              records[best_idx].spec.describe().c_str());
+
+  const bool propshare_tops = max_r[1] >= max_r[0];
+  const bool freeride_worst =
+      mean_r[2] < mean_r[0] && mean_r[2] < mean_r[1];
+  std::printf("\n");
+  bench::verdict(propshare_tops && freeride_worst,
+                 "Prop Share reaches at least Equal Split's top robustness "
+                 "and Freeride trails both");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmarks (google-benchmark): throughput of the two simulators and
+// the PRA engine's building blocks. These calibrate the DSA_* scale knobs —
+// the figure benches' wall-clock cost is (simulations) x (time/run) measured
+// here.
+#include <benchmark/benchmark.h>
+
+#include "core/pra.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/simulator.hpp"
+
+namespace {
+
+using namespace dsa;
+
+void BM_RoundSimHomogeneous(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  swarming::SimulationConfig config;
+  config.rounds = rounds;
+  const auto bandwidths = swarming::BandwidthDistribution::piatek();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(swarming::run_homogeneous_throughput(
+        swarming::bittorrent_protocol(), 50, config, bandwidths));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rounds) * 50);
+}
+BENCHMARK(BM_RoundSimHomogeneous)->Arg(120)->Arg(500);
+
+void BM_RoundSimEncounter(benchmark::State& state) {
+  swarming::SimulationConfig config;
+  config.rounds = static_cast<std::size_t>(state.range(0));
+  const auto bandwidths = swarming::BandwidthDistribution::piatek();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(
+        swarming::run_encounter(swarming::bittorrent_protocol(),
+                                swarming::loyal_when_needed_protocol(), 25, 25,
+                                config, bandwidths));
+  }
+}
+BENCHMARK(BM_RoundSimEncounter)->Arg(120)->Arg(500);
+
+void BM_SwarmDownload(benchmark::State& state) {
+  swarm::SwarmConfig config;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(
+        swarm::run_mixed_swarm(swarm::ClientVariant::kBitTorrent,
+                               swarm::ClientVariant::kBirds, 25, 50, config));
+  }
+}
+BENCHMARK(BM_SwarmDownload);
+
+void BM_ProtocolCodec(benchmark::State& state) {
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    const auto spec = swarming::decode_protocol(id);
+    benchmark::DoNotOptimize(swarming::encode_protocol(spec));
+    id = (id + 1) % swarming::kProtocolCount;
+  }
+}
+BENCHMARK(BM_ProtocolCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Sec. 4.3.2 (in-text): the 50-50 robustness tournament is validated against
+// a 90-10 split ("90% of the peers follow protocol Pi while 10% execute
+// other protocols"); the paper reports Pearson rho = 0.97 between the two.
+// We reproduce the check over a deterministic sample of the space.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "stats/correlation.hpp"
+#include "swarming/dsa_model.hpp"
+#include "util/env.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+int main() {
+  bench::banner(
+      "Sec. 4.3.2 — 50-50 vs 90-10 robustness correlation",
+      "robustness measured with a 50% invading population predicts "
+      "robustness against small (10%) invasions: Pearson rho ~= 0.97");
+
+  const auto sample_size = static_cast<std::size_t>(
+      util::env_int("DSA_9010_SAMPLE", 120));
+  const auto rounds =
+      static_cast<std::size_t>(util::env_int("DSA_ROUNDS", 120));
+
+  // Deterministic, evenly spaced sample of the space.
+  std::vector<std::uint32_t> members;
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    members.push_back(static_cast<std::uint32_t>(
+        i * (kProtocolCount / sample_size) % kProtocolCount));
+  }
+
+  SimulationConfig sim;
+  sim.rounds = rounds;
+  const SwarmingModel model(sim, BandwidthDistribution::piatek());
+  const core::SubspaceModel subset(model, members);
+
+  core::PraConfig config;
+  config.performance_runs = 1;
+  config.encounter_runs = 2;
+  config.opponent_sample = 24;
+  config.seed = 2011;
+  const core::PraEngine engine(subset, config);
+
+  std::fprintf(stderr, "running 50-50 tournament over %zu protocols...\n",
+               members.size());
+  const auto fifty = engine.tournament(0.5);
+  std::fprintf(stderr, "running 90-10 tournament...\n");
+  const auto ninety = engine.tournament(0.9);
+
+  const double rho = stats::pearson(fifty, ninety);
+  const double rank_rho = stats::spearman(fifty, ninety);
+
+  std::printf("\nSampled protocols: %zu | opponents per protocol: %zu | "
+              "encounter runs: %zu\n",
+              members.size(), config.opponent_sample, config.encounter_runs);
+  std::printf("Pearson rho(50-50, 90-10)  = %.4f (paper: 0.97)\n", rho);
+  std::printf("Spearman rho(50-50, 90-10) = %.4f\n", rank_rho);
+
+  // A few example rows.
+  std::printf("\nfirst 10 sampled protocols (robustness at both splits):\n");
+  for (std::size_t i = 0; i < 10 && i < members.size(); ++i) {
+    std::printf("  #%-5u 50-50=%.3f 90-10=%.3f  %s\n", members[i], fifty[i],
+                ninety[i], subset.protocol_name(static_cast<std::uint32_t>(i))
+                               .c_str());
+  }
+
+  std::printf("\n");
+  bench::verdict(rho > 0.85,
+                 "the 50-50 tournament strongly predicts 90-10 outcomes");
+  return 0;
+}

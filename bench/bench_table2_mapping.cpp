@@ -1,0 +1,107 @@
+// Table 2: existing protocols/designs mapped onto the generic P2P design
+// space (Sec. 4.1). The table itself is a literature survey; what we can
+// regenerate is the mapping of each system's policies onto concrete
+// actualizations of OUR space — verifying that the parameterization is
+// expressive enough to describe all six systems the paper lists.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "swarming/protocol.hpp"
+#include "util/table_printer.hpp"
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+namespace {
+
+struct Mapping {
+  const char* system;
+  const char* stranger_policy;
+  const char* selection;
+  const char* allocation;
+  ProtocolSpec closest;  // nearest point of our actualized space
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Table 2 — existing systems mapped to the generic design space",
+      "peer discovery / stranger policy / selection function / resource "
+      "allocation suffice to describe P2P Replica Storage, GTG, Maze, "
+      "Pulse, BarterCast and private BT communities");
+
+  ProtocolSpec replica;  // defect if partner set full ~ When-needed;
+  replica.stranger_policy = StrangerPolicy::kWhenNeeded;
+  replica.ranking = RankingFunction::kProximity;  // closest to own profile
+  replica.partner_slots = 4;
+
+  ProtocolSpec gtg;  // unconditional cooperation with strangers
+  gtg.stranger_policy = StrangerPolicy::kPeriodic;
+  gtg.stranger_slots = 2;
+  gtg.ranking = RankingFunction::kFastest;  // sort on forwarding rank
+  gtg.partner_slots = 4;
+
+  ProtocolSpec maze;  // ranked on points, differentiated allocation
+  maze.stranger_policy = StrangerPolicy::kPeriodic;  // initialized w/ points
+  maze.ranking = RankingFunction::kFastest;
+  maze.partner_slots = 6;
+  maze.allocation = AllocationPolicy::kPropShare;
+
+  ProtocolSpec pulse;  // positive score to strangers, missing/forward lists
+  pulse.stranger_policy = StrangerPolicy::kPeriodic;
+  pulse.ranking = RankingFunction::kAdaptive;
+  pulse.partner_slots = 4;
+
+  ProtocolSpec bartercast;  // unconditional cooperation + reputation rank
+  bartercast.stranger_policy = StrangerPolicy::kPeriodic;
+  bartercast.stranger_slots = 1;
+  bartercast.ranking = RankingFunction::kLoyal;  // long-run reputation
+  bartercast.partner_slots = 4;
+
+  ProtocolSpec private_bt;  // initial credit, credit-proportional allocation
+  private_bt.stranger_policy = StrangerPolicy::kWhenNeeded;
+  private_bt.ranking = RankingFunction::kFastest;
+  private_bt.partner_slots = 4;
+  private_bt.allocation = AllocationPolicy::kPropShare;
+
+  const Mapping mappings[] = {
+      {"P2P Replica Storage", "Defect if partner set full",
+       "Closest to own profile", "Equal", replica},
+      {"Give-to-Get (GTG)", "Unconditional cooperation",
+       "Sort on forwarding rank", "Equal", gtg},
+      {"Maze", "Initialized with points", "Ranked on points",
+       "Differentiated by rank", maze},
+      {"Pulse", "Give positive score", "Missing/forwarding lists", "Equal",
+       pulse},
+      {"BarterCast", "Unconditional cooperation", "Rank/ban by reputation",
+       "Equal", bartercast},
+      {"Private BT communities", "Initial credit", "Credit/sharing ratio",
+       "Differentiated by credits", private_bt},
+  };
+
+  util::TablePrinter table({"system", "paper's description",
+                            "nearest protocol in our space", "id"});
+  bool all_encodable = true;
+  for (const auto& m : mappings) {
+    std::uint32_t id = 0;
+    try {
+      id = encode_protocol(m.closest);
+    } catch (const std::exception&) {
+      all_encodable = false;
+    }
+    table.add_row({m.system,
+                   std::string(m.stranger_policy) + " / " + m.selection +
+                       " / " + m.allocation,
+                   m.closest.describe(), std::to_string(id)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  std::printf("\n");
+  bench::verdict(all_encodable,
+                 "all six surveyed systems map onto valid points of the "
+                 "actualized 3270-protocol space");
+  return 0;
+}

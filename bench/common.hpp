@@ -1,0 +1,38 @@
+// Shared helpers for the figure/table bench binaries: PRA dataset access
+// (cached in results/pra_results.csv), and small formatting utilities.
+//
+// Every bench prints (a) a short header with the experiment id and the
+// paper's claim, (b) machine-readable series rows, and (c) a summary that
+// states whether the claim's *shape* reproduced at the current scale.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "swarming/pra_dataset.hpp"
+#include "util/table_printer.hpp"
+
+namespace dsa::bench {
+
+/// Loads (or computes and caches) the PRA dataset at env-configured scale.
+inline std::vector<swarming::PraRecord> dataset() {
+  return swarming::load_or_compute_pra_dataset(
+      swarming::PraDatasetOptions::from_environment());
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// "REPRODUCED" / "DEVIATION" verdict line.
+inline void verdict(bool reproduced, const std::string& detail) {
+  std::printf("[%s] %s\n", reproduced ? "REPRODUCED" : "DEVIATION",
+              detail.c_str());
+}
+
+}  // namespace dsa::bench

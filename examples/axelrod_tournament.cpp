@@ -1,0 +1,91 @@
+// Axelrod tournament: the repeated-game lens behind Sec. 2. Runs the
+// classic seven-strategy round-robin on (a) the standard Prisoner's Dilemma
+// and (b) the asymmetric BitTorrent Dilemma of Fig. 1(a), with and without
+// noise — showing why TFT-like reciprocation carries the PD while the fast
+// role of the BT Dilemma is carried by unconditional defection.
+//
+//   $ ./axelrod_tournament          # noiseless
+//   $ ./axelrod_tournament 0.02     # 2% per-move noise
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "gametheory/strategies.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::gametheory;
+
+void print_tournament(const std::string& title, const BimatrixGame& game,
+                      const TournamentConfig& config) {
+  const auto result = round_robin(game, all_strategies(), config);
+
+  std::vector<std::size_t> order(result.roster.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.score[a] > result.score[b];
+  });
+
+  std::printf("\n%s (noise %.0f%%, %zu rounds/match):\n", title.c_str(),
+              100.0 * config.noise, config.rounds);
+  util::TablePrinter table({"rank", "strategy", "mean payoff/round"});
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    table.add_row({std::to_string(rank + 1),
+                   to_string(result.roster[order[rank]]),
+                   util::fixed(result.score[order[rank]], 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TournamentConfig config;
+  config.rounds = 500;
+  config.repeats = 5;
+  config.noise = argc > 1 ? std::atof(argv[1]) : 0.0;
+  config.aspiration = 2.0;  // PD: reward counts as a win for WSLS
+
+  print_tournament("Classic Prisoner's Dilemma (T=5 R=3 P=1 S=0)",
+                   prisoners_dilemma(), config);
+
+  // The BitTorrent Dilemma (f = 100, s = 20): the asymmetric game from the
+  // paper's Fig. 1(a). Aspiration 0: any positive payoff is a "win".
+  TournamentConfig bt_config = config;
+  bt_config.aspiration = 0.5;
+  print_tournament("BitTorrent Dilemma, Fig. 1(a) (f=100, s=20)",
+                   bittorrent_dilemma(100.0, 20.0), bt_config);
+
+  // Evolution of cooperation: replicator dynamics on the PD tournament.
+  const std::vector<StrategyKind> eco_roster{StrategyKind::kAllCooperate,
+                                             StrategyKind::kAllDefect,
+                                             StrategyKind::kTitForTat};
+  const auto eco =
+      round_robin(prisoners_dilemma(), eco_roster, config);
+  const auto trajectory = strategy_replicator(
+      eco, {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0}, 300);
+  std::printf("\nReplicator dynamics over {AllC, AllD, TFT} shares:\n");
+  util::TablePrinter shares({"step", "AllC", "AllD", "TFT"});
+  for (std::size_t step : {0u, 10u, 25u, 50u, 100u, 300u}) {
+    shares.add_row({std::to_string(step),
+                    util::fixed(trajectory[step][0], 3),
+                    util::fixed(trajectory[step][1], 3),
+                    util::fixed(trajectory[step][2], 3)});
+  }
+  shares.print(std::cout);
+
+  std::printf(
+      "\nReading the results: in the symmetric PD the reciprocators (TFT, "
+      "Grim, WSLS) top the\ntable and AllD sinks — Axelrod's classic "
+      "finding — and the replicator shows defectors\nfeasting on suckers "
+      "before the reciprocators starve them out. In the BitTorrent\n"
+      "Dilemma the fast role's dominant defection pays regardless of the "
+      "opponent, which is\nexactly why the paper's Sec. 2 concludes "
+      "BitTorrent's TFT is not an equilibrium\nbetween bandwidth classes.\n");
+  return 0;
+}

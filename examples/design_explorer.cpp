@@ -1,0 +1,100 @@
+// Design explorer: sweep one dimension of the file-swarming design space
+// while holding the rest fixed, and watch how Performance responds — the
+// "what does this magic number cost me?" question DSA exists to answer.
+//
+//   $ ./design_explorer partners    # sweep k = 0..9
+//   $ ./design_explorer strangers   # sweep stranger policy x h
+//   $ ./design_explorer ranking     # sweep the six ranking functions
+//   $ ./design_explorer allocation  # sweep the three allocation policies
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+double performance(const ProtocolSpec& spec) {
+  SimulationConfig config;
+  config.rounds = 250;
+  static const BandwidthDistribution dist = BandwidthDistribution::piatek();
+  std::vector<double> runs;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    config.seed = seed;
+    runs.push_back(run_homogeneous_throughput(spec, 50, config, dist));
+  }
+  return stats::mean(runs);
+}
+
+void sweep(const std::string& dimension) {
+  util::TablePrinter table({"protocol", "throughput (KBps)"});
+  const ProtocolSpec base = bittorrent_protocol();
+
+  if (dimension == "partners") {
+    for (int k = 0; k <= 9; ++k) {
+      ProtocolSpec spec = base;
+      spec.partner_slots = static_cast<std::uint8_t>(k);
+      if (k == 0) {
+        spec.window = CandidateWindow::kTft;
+        spec.ranking = RankingFunction::kFastest;
+      }
+      table.add_row({spec.describe(), util::fixed(performance(spec), 1)});
+    }
+  } else if (dimension == "strangers") {
+    ProtocolSpec none = base;
+    none.stranger_slots = 0;
+    table.add_row({none.describe(), util::fixed(performance(none), 1)});
+    for (StrangerPolicy policy : {StrangerPolicy::kPeriodic,
+                                  StrangerPolicy::kWhenNeeded,
+                                  StrangerPolicy::kDefect}) {
+      for (int h = 1; h <= 3; ++h) {
+        ProtocolSpec spec = base;
+        spec.stranger_policy = policy;
+        spec.stranger_slots = static_cast<std::uint8_t>(h);
+        table.add_row({spec.describe(), util::fixed(performance(spec), 1)});
+      }
+    }
+  } else if (dimension == "ranking") {
+    for (RankingFunction ranking :
+         {RankingFunction::kFastest, RankingFunction::kSlowest,
+          RankingFunction::kProximity, RankingFunction::kAdaptive,
+          RankingFunction::kLoyal, RankingFunction::kRandom}) {
+      ProtocolSpec spec = base;
+      spec.ranking = ranking;
+      table.add_row({spec.describe(), util::fixed(performance(spec), 1)});
+    }
+  } else if (dimension == "allocation") {
+    for (AllocationPolicy allocation :
+         {AllocationPolicy::kEqualSplit, AllocationPolicy::kPropShare,
+          AllocationPolicy::kFreeride}) {
+      ProtocolSpec spec = base;
+      spec.allocation = allocation;
+      table.add_row({spec.describe(), util::fixed(performance(spec), 1)});
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown dimension '%s' (expected partners|strangers|"
+                 "ranking|allocation)\n",
+                 dimension.c_str());
+    std::exit(1);
+  }
+
+  std::printf("Homogeneous performance sweep over '%s' (base: %s):\n\n",
+              dimension.c_str(), base.describe().c_str());
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep(argc > 1 ? argv[1] : "partners");
+  return 0;
+}

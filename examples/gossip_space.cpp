@@ -1,0 +1,58 @@
+// DSA beyond file swarming: the gossip-protocol design space sketched in
+// Sec. 3.1 of the paper ("Selection function, Periodicity, Filtering,
+// Record maintenance"), actualized into 48 protocols (src/gossip) and
+// scored with the same PRA engine that drives the P2P analysis —
+// demonstrating that the method is domain-agnostic.
+//
+//   $ ./gossip_space
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/pra.hpp"
+#include "gossip/gossip_model.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace dsa;
+
+  const core::DesignSpace space = gossip::gossip_space();
+  std::printf("Gossip design space: %llu protocols over %zu dimensions\n\n",
+              static_cast<unsigned long long>(space.size()),
+              space.dimension_count());
+
+  const gossip::GossipModel model;
+  core::PraConfig config;
+  config.population = 30;
+  config.performance_runs = 3;
+  config.encounter_runs = 2;
+  config.seed = 7;
+  const core::PraScores scores = core::PraEngine(model, config).run();
+
+  // Rank by robustness and show the extremes.
+  std::vector<std::size_t> order(space.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores.robustness[a] > scores.robustness[b];
+  });
+
+  util::TablePrinter table({"protocol", "P", "R", "A"});
+  std::printf("Most robust gossip protocols:\n");
+  auto add = [&](std::size_t id) {
+    table.add_row({space.describe(id), util::fixed(scores.performance[id], 3),
+                   util::fixed(scores.robustness[id], 3),
+                   util::fixed(scores.aggressiveness[id], 3)});
+  };
+  for (std::size_t i = 0; i < 5; ++i) add(order[i]);
+  table.add_row({"...", "", "", ""});
+  for (std::size_t i = order.size() - 3; i < order.size(); ++i) add(order[i]);
+  table.print(std::cout);
+
+  std::printf(
+      "\nSame machinery, different domain: replying protocols dominate the "
+      "tournament while\n'ignore'/'drop' variants sink — the gossip analogue "
+      "of the freerider result.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: Design Space Analysis in ~60 lines.
+//
+// We take five named protocols from the paper's file-swarming design space,
+// run the PRA quantification (Performance, Robustness, Aggressiveness) over
+// that focused subspace, and print the resulting characterization — the
+// entire DSA workflow end to end.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/protocol.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace dsa;
+  using namespace dsa::swarming;
+
+  // 1. A simulation substrate: the round-based P2P file-swarming model of
+  //    Sec. 4.3.1, with peers drawing upload capacities from the Piatek et
+  //    al. distribution.
+  SimulationConfig sim;
+  sim.rounds = 200;
+  SwarmingModel model(sim, BandwidthDistribution::piatek());
+
+  // 2. The protocols to characterize. Each is a point in the 3270-protocol
+  //    design space; encode_protocol gives its dense id.
+  ProtocolSpec freerider;  // periodic strangers, but gives partners nothing
+  freerider.stranger_slots = 1;
+  freerider.partner_slots = 9;
+  freerider.allocation = AllocationPolicy::kFreeride;
+
+  const std::vector<std::uint32_t> contenders = {
+      encode_protocol(bittorrent_protocol()),
+      encode_protocol(birds_protocol()),
+      encode_protocol(loyal_when_needed_protocol()),
+      encode_protocol(sort_s_protocol()),
+      encode_protocol(freerider),
+  };
+  core::SubspaceModel subspace(model, contenders);
+
+  // 3. The PRA quantification: homogeneous performance plus round-robin
+  //    tournaments at the 50/50 (Robustness) and 10/90 (Aggressiveness)
+  //    splits.
+  core::PraConfig pra;
+  pra.population = 50;
+  pra.performance_runs = 5;
+  pra.encounter_runs = 3;
+  pra.seed = 42;
+  const core::PraScores scores = core::PraEngine(subspace, pra).run();
+
+  // 4. Report.
+  std::printf("PRA characterization (%zu peers, %zu rounds/run):\n\n",
+              pra.population, sim.rounds);
+  util::TablePrinter table(
+      {"protocol", "performance", "robustness", "aggressiveness"});
+  for (std::uint32_t i = 0; i < subspace.protocol_count(); ++i) {
+    table.add_row({subspace.protocol_name(i),
+                   util::fixed(scores.performance[i], 3),
+                   util::fixed(scores.robustness[i], 3),
+                   util::fixed(scores.aggressiveness[i], 3)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading the table: performance is normalized population throughput "
+      "in a homogeneous swarm;\nrobustness/aggressiveness are tournament win "
+      "rates when the protocol holds 50%% / 10%% of the\npopulation. The "
+      "freerider's numbers show why incentive design matters.\n");
+  return 0;
+}

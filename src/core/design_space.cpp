@@ -1,0 +1,61 @@
+#include "core/design_space.hpp"
+
+#include <stdexcept>
+
+namespace dsa::core {
+
+void DesignSpace::add_dimension(std::string name,
+                                std::vector<std::string> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("DesignSpace: dimension '" + name +
+                                "' has no levels");
+  }
+  dimensions_.push_back(Dimension{std::move(name), std::move(levels)});
+}
+
+std::uint64_t DesignSpace::size() const noexcept {
+  std::uint64_t product = 1;
+  for (const auto& dim : dimensions_) product *= dim.levels.size();
+  return product;
+}
+
+std::vector<std::size_t> DesignSpace::decode(std::uint64_t id) const {
+  if (id >= size()) {
+    throw std::out_of_range("DesignSpace::decode: id outside the space");
+  }
+  std::vector<std::size_t> levels(dimensions_.size());
+  // Last dimension varies fastest, matching row-major enumeration.
+  for (std::size_t i = dimensions_.size(); i-- > 0;) {
+    const std::uint64_t radix = dimensions_[i].levels.size();
+    levels[i] = static_cast<std::size_t>(id % radix);
+    id /= radix;
+  }
+  return levels;
+}
+
+std::uint64_t DesignSpace::encode(std::span<const std::size_t> levels) const {
+  if (levels.size() != dimensions_.size()) {
+    throw std::invalid_argument("DesignSpace::encode: wrong level count");
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    const std::size_t radix = dimensions_[i].levels.size();
+    if (levels[i] >= radix) {
+      throw std::invalid_argument("DesignSpace::encode: level out of range");
+    }
+    id = id * radix + levels[i];
+  }
+  return id;
+}
+
+std::string DesignSpace::describe(std::uint64_t id) const {
+  const std::vector<std::size_t> levels = decode(id);
+  std::string text;
+  for (std::size_t i = 0; i < dimensions_.size(); ++i) {
+    if (i) text += ", ";
+    text += dimensions_[i].name + "=" + dimensions_[i].levels[levels[i]];
+  }
+  return text;
+}
+
+}  // namespace dsa::core

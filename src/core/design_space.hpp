@@ -1,0 +1,59 @@
+// Generic design-space specification (Sec. 3.1): Parameterization names the
+// salient dimensions, Actualization lists concrete implementations per
+// dimension. A DesignSpace is the cartesian product of its dimensions with a
+// dense mixed-radix encoding, which is what a DSA solution concept (e.g. the
+// PRA quantification in pra.hpp) systematically explores.
+//
+// Domains with folded singleton options (like the file-swarming space of
+// Sec. 4.2, where "no strangers" collapses 3 policies into one id) may keep a
+// bespoke encoding instead — see swarming/protocol.hpp — and still plug into
+// the PRA engine, which only needs protocol ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsa::core {
+
+/// One salient dimension and its actualized implementations.
+struct Dimension {
+  std::string name;
+  std::vector<std::string> levels;
+};
+
+/// Cartesian product of dimensions with dense ids in [0, size()).
+class DesignSpace {
+ public:
+  DesignSpace() = default;
+
+  /// Adds a dimension; throws std::invalid_argument for empty level lists.
+  void add_dimension(std::string name, std::vector<std::string> levels);
+
+  [[nodiscard]] std::size_t dimension_count() const noexcept {
+    return dimensions_.size();
+  }
+  [[nodiscard]] const Dimension& dimension(std::size_t i) const {
+    return dimensions_.at(i);
+  }
+
+  /// Number of unique protocols (product of level counts; 1 when empty).
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// Level index per dimension for a protocol id; throws std::out_of_range
+  /// for id >= size().
+  [[nodiscard]] std::vector<std::size_t> decode(std::uint64_t id) const;
+
+  /// Inverse of decode; throws std::invalid_argument on bad level indices.
+  [[nodiscard]] std::uint64_t encode(std::span<const std::size_t> levels) const;
+
+  /// "dim=level" summary of a protocol id, e.g.
+  /// "Selection=Best, Periodicity=Fast".
+  [[nodiscard]] std::string describe(std::uint64_t id) const;
+
+ private:
+  std::vector<Dimension> dimensions_;
+};
+
+}  // namespace dsa::core

@@ -1,0 +1,102 @@
+#include "core/ess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pra.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::core {
+
+EssQuantifier::EssQuantifier(const EncounterModel& model, EssConfig config)
+    : model_(model), config_(config) {
+  if (config_.population < 2 || config_.runs == 0) {
+    throw std::invalid_argument("EssQuantifier: degenerate config");
+  }
+  if (!(config_.mutant_fraction > 0.0 && config_.mutant_fraction < 0.5)) {
+    throw std::invalid_argument(
+        "EssQuantifier: mutant_fraction must be in (0, 0.5) — mutants are a "
+        "small deviating group");
+  }
+  if (model_.protocol_count() < 2) {
+    throw std::invalid_argument("EssQuantifier: need >= 2 protocols");
+  }
+}
+
+std::vector<std::uint32_t> EssQuantifier::mutants_of(
+    std::uint32_t protocol) const {
+  std::vector<std::uint32_t> all;
+  all.reserve(model_.protocol_count() - 1);
+  for (std::uint32_t m = 0; m < model_.protocol_count(); ++m) {
+    if (m != protocol) all.push_back(m);
+  }
+  if (config_.mutant_sample == 0 || config_.mutant_sample >= all.size()) {
+    return all;
+  }
+  util::Rng rng(derive_seed(config_.seed, 0xE55, protocol, 0));
+  for (std::size_t i = 0; i < config_.mutant_sample; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(config_.mutant_sample);
+  return all;
+}
+
+EssResult EssQuantifier::stability_of(std::uint32_t protocol) const {
+  if (protocol >= model_.protocol_count()) {
+    throw std::out_of_range("EssQuantifier: protocol outside the space");
+  }
+  const auto mutant_count = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::lround(config_.mutant_fraction *
+                      static_cast<double>(config_.population))),
+      1, config_.population - 1);
+  const std::size_t resident_count = config_.population - mutant_count;
+
+  const std::vector<std::uint32_t> mutants = mutants_of(protocol);
+  EssResult result;
+  std::size_t resisted = 0;
+  for (std::uint32_t mutant : mutants) {
+    // A mutant invades when it strictly gains in EVERY run (persistent
+    // advantage, not a lucky draw).
+    bool gains_always = true;
+    double last_mutant_utility = 0.0;
+    double last_resident_utility = 0.0;
+    for (std::size_t run = 0; run < config_.runs; ++run) {
+      const auto [mutant_utility, resident_utility] = model_.mixed_utilities(
+          mutant, protocol, mutant_count, resident_count,
+          derive_seed(config_.seed, 0xE56,
+                      (static_cast<std::uint64_t>(protocol) << 32) | mutant,
+                      run));
+      last_mutant_utility = mutant_utility;
+      last_resident_utility = resident_utility;
+      if (!(mutant_utility > resident_utility)) {
+        gains_always = false;
+        break;
+      }
+    }
+    if (gains_always) {
+      result.invaders.push_back(EssResult::Invader{
+          mutant, last_mutant_utility, last_resident_utility});
+    } else {
+      ++resisted;
+    }
+  }
+  result.stability = mutants.empty()
+                         ? 1.0
+                         : static_cast<double>(resisted) /
+                               static_cast<double>(mutants.size());
+  return result;
+}
+
+std::vector<double> EssQuantifier::stability_all() const {
+  std::vector<double> stability(model_.protocol_count());
+  for (std::uint32_t p = 0; p < model_.protocol_count(); ++p) {
+    stability[p] = stability_of(p).stability;
+  }
+  return stability;
+}
+
+}  // namespace dsa::core

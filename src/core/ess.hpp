@@ -1,0 +1,67 @@
+// A second solution concept within DSA (the paper notes "other solution
+// concepts within DSA could also be devised", Sec. 3.2): the Evolutionary
+// Stability quantification. Where PRA's Robustness asks "does a 50% invasion
+// outperform me?", ESS asks the game-theoretic stability question — can a
+// SMALL mutant group strictly gain by deviating into my population? The
+// score is the fraction of sampled mutants that cannot.
+//
+// stability(Pi) = |{ m : u_mutant(m, Pi) <= u_resident(m, Pi) }| / |mutants|
+//
+// where u_* come from a mixed population with `mutant_fraction` of the peers
+// running m. A protocol with stability 1 is empirically un-invadable at that
+// granularity — the simulation analogue of the Appendix's Nash arguments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace dsa::core {
+
+/// Controls for the stability quantification.
+struct EssConfig {
+  std::size_t population = 50;
+  double mutant_fraction = 0.1;   // size of the deviating group
+  std::size_t runs = 1;           // repetitions per mutant
+  /// Mutants sampled per protocol; 0 = every other protocol.
+  std::size_t mutant_sample = 24;
+  std::uint64_t seed = 2011;
+};
+
+/// Per-protocol stability outcome.
+struct EssResult {
+  double stability = 0.0;  // fraction of mutants that do not gain
+  /// Mutants that strictly gained (successful invaders), most recent run's
+  /// utilities attached.
+  struct Invader {
+    std::uint32_t mutant = 0;
+    double mutant_utility = 0.0;
+    double resident_utility = 0.0;
+  };
+  std::vector<Invader> invaders;
+};
+
+/// Evaluates evolutionary stability over an EncounterModel.
+class EssQuantifier {
+ public:
+  /// The model must outlive the quantifier. Throws std::invalid_argument on
+  /// degenerate configs.
+  EssQuantifier(const EncounterModel& model, EssConfig config);
+
+  /// Stability of one protocol against (sampled) mutants.
+  [[nodiscard]] EssResult stability_of(std::uint32_t protocol) const;
+
+  /// Stability of every protocol in the space (parallelized by the caller
+  /// if desired; this runs serially).
+  [[nodiscard]] std::vector<double> stability_all() const;
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> mutants_of(
+      std::uint32_t protocol) const;
+
+  const EncounterModel& model_;
+  EssConfig config_;
+};
+
+}  // namespace dsa::core

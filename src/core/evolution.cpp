@@ -1,0 +1,147 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/pra.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::core {
+
+ReplicatorDynamics::ReplicatorDynamics(const PopulationModel& model,
+                                       std::vector<std::uint32_t> menu,
+                                       EvolutionConfig config)
+    : model_(model), menu_(std::move(menu)), config_(config) {
+  if (menu_.size() < 2) {
+    throw std::invalid_argument("ReplicatorDynamics: menu needs >= 2 entries");
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint32_t protocol : menu_) {
+    if (!seen.insert(protocol).second) {
+      throw std::invalid_argument("ReplicatorDynamics: duplicate menu entry");
+    }
+  }
+  if (config_.population < menu_.size() || config_.generations == 0 ||
+      config_.runs_per_generation == 0) {
+    throw std::invalid_argument("ReplicatorDynamics: degenerate config");
+  }
+  if (config_.mutation_rate < 0.0 || config_.mutation_rate >= 1.0) {
+    throw std::invalid_argument(
+        "ReplicatorDynamics: mutation_rate outside [0, 1)");
+  }
+}
+
+EvolutionResult ReplicatorDynamics::run(
+    std::vector<std::size_t> counts) const {
+  if (counts.size() != menu_.size()) {
+    throw std::invalid_argument("ReplicatorDynamics::run: count width");
+  }
+  if (std::accumulate(counts.begin(), counts.end(), std::size_t{0}) !=
+      config_.population) {
+    throw std::invalid_argument(
+        "ReplicatorDynamics::run: counts must sum to the population size");
+  }
+
+  const std::size_t n = menu_.size();
+  util::Rng rng(derive_seed(config_.seed, 0xEE0, 0, 0));
+
+  EvolutionResult result;
+  auto record = [&]() {
+    std::vector<double> shares(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i] = static_cast<double>(counts[i]) /
+                  static_cast<double>(config_.population);
+    }
+    result.share_history.push_back(std::move(shares));
+  };
+  record();
+
+  for (std::size_t generation = 0; generation < config_.generations;
+       ++generation) {
+    // Assemble the group view (zero-count groups included to keep menu
+    // alignment).
+    std::vector<GroupShare> groups(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[i] = GroupShare{menu_[i], counts[i]};
+    }
+
+    // Average fitness over repeated simulations.
+    std::vector<double> fitness(n, 0.0);
+    for (std::size_t run = 0; run < config_.runs_per_generation; ++run) {
+      const std::vector<double> utilities = model_.group_utilities(
+          groups, derive_seed(config_.seed, 0xEE1, generation, run));
+      if (utilities.size() != n) {
+        throw std::runtime_error(
+            "ReplicatorDynamics: model returned wrong group count");
+      }
+      for (std::size_t i = 0; i < n; ++i) fitness[i] += utilities[i];
+    }
+
+    // Replicator step: next share_i proportional to count_i * fitness_i.
+    // When total weight vanishes (nobody earns anything) shares persist.
+    std::vector<double> weight(n, 0.0);
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weight[i] = static_cast<double>(counts[i]) * fitness[i];
+      total_weight += weight[i];
+    }
+    if (total_weight > 0.0) {
+      // Wright-Fisher resampling: each of the N next-generation seats is
+      // drawn independently with probability proportional to the group's
+      // (count * fitness) weight. Deterministic rounding schemes plateau
+      // one seat short of fixation; sampling lets selection finish the job
+      // (and models drift in small populations).
+      std::vector<std::size_t> next(n, 0);
+      for (std::size_t seat = 0; seat < config_.population; ++seat) {
+        double pick = rng.uniform() * total_weight;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+          pick -= weight[i];
+          if (pick < 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+        ++next[chosen];
+      }
+      counts = std::move(next);
+    }
+
+    // Mutation: each peer flips to a uniformly random menu protocol.
+    if (config_.mutation_rate > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t leaving = 0;
+        for (std::size_t peer = 0; peer < counts[i]; ++peer) {
+          if (rng.chance(config_.mutation_rate)) ++leaving;
+        }
+        counts[i] -= leaving;
+        for (std::size_t peer = 0; peer < leaving; ++peer) {
+          ++counts[rng.below(n)];
+        }
+      }
+    }
+
+    record();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] == config_.population) {
+      result.fixated_menu_index = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+EvolutionResult ReplicatorDynamics::run_from_even_split() const {
+  const std::size_t n = menu_.size();
+  std::vector<std::size_t> counts(n, config_.population / n);
+  std::size_t assigned = (config_.population / n) * n;
+  for (std::size_t i = 0; assigned < config_.population; ++i, ++assigned) {
+    ++counts[i];
+  }
+  return run(std::move(counts));
+}
+
+}  // namespace dsa::core

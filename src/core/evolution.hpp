@@ -1,0 +1,92 @@
+// Evolutionary dynamics over a protocol menu — the population-level
+// counterpart of the paper's Nash-equilibrium analysis (Sec. 2) and a bridge
+// to the evolutionary game-theoretic treatment of Feldman et al. that the
+// paper cites as related work.
+//
+// A discrete replicator process (Wright-Fisher sampling) runs on a finite
+// population: each generation, the mixed population is simulated, every
+// protocol group earns its mean utility as fitness, and each seat of the
+// next generation is sampled with probability proportional to
+// (share * fitness), with optional mutation (a peer switching to a random
+// menu protocol). A protocol that is a Nash equilibrium of the underlying
+// game should resist invasion; a dominated protocol's share should
+// collapse.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace dsa::core {
+
+/// One protocol group inside a mixed population.
+struct GroupShare {
+  std::uint32_t protocol = 0;
+  std::size_t count = 0;
+};
+
+/// A domain that can simulate populations mixing ANY number of protocol
+/// groups (the EncounterModel interface only mixes two). Implementations
+/// must be deterministic in `seed` and thread-safe for const calls.
+class PopulationModel {
+ public:
+  virtual ~PopulationModel() = default;
+
+  /// Mean utility of each group (aligned with `groups`). Groups with
+  /// count == 0 may receive any value (they are ignored by callers).
+  [[nodiscard]] virtual std::vector<double> group_utilities(
+      std::span<const GroupShare> groups, std::uint64_t seed) const = 0;
+};
+
+/// Replicator process controls.
+struct EvolutionConfig {
+  std::size_t population = 50;   // peers alive each generation
+  std::size_t generations = 60;
+  std::size_t runs_per_generation = 2;  // utility averaging
+  double mutation_rate = 0.0;    // per-peer chance to switch protocol
+  std::uint64_t seed = 2011;
+};
+
+/// Trajectory of one replicator run.
+struct EvolutionResult {
+  /// share_history[g][i] = fraction of the population running menu entry i
+  /// at generation g (generation 0 = the initial population).
+  std::vector<std::vector<double>> share_history;
+  /// Menu index that owns the whole population at the end, or -1 if the
+  /// population is still mixed.
+  int fixated_menu_index = -1;
+
+  [[nodiscard]] const std::vector<double>& final_shares() const {
+    return share_history.back();
+  }
+};
+
+/// Discrete replicator dynamics over `menu` protocols of a PopulationModel.
+class ReplicatorDynamics {
+ public:
+  /// The model must outlive the dynamics. Throws std::invalid_argument for
+  /// menus with < 2 entries or duplicate protocols, or degenerate configs.
+  ReplicatorDynamics(const PopulationModel& model,
+                     std::vector<std::uint32_t> menu, EvolutionConfig config);
+
+  /// Runs from the given initial counts (aligned with the menu; must sum to
+  /// config.population — throws otherwise).
+  [[nodiscard]] EvolutionResult run(std::vector<std::size_t> initial_counts)
+      const;
+
+  /// Convenience: starts from an (almost) even split across the menu.
+  [[nodiscard]] EvolutionResult run_from_even_split() const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& menu() const noexcept {
+    return menu_;
+  }
+
+ private:
+  const PopulationModel& model_;
+  std::vector<std::uint32_t> menu_;
+  EvolutionConfig config_;
+};
+
+}  // namespace dsa::core

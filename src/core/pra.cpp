@@ -1,0 +1,148 @@
+#include "core/pra.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dsa::core {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t tag,
+                          std::uint64_t a, std::uint64_t b) {
+  std::uint64_t mix = util::hash64(master ^ 0x2545f4914f6cdd1dULL);
+  mix ^= util::hash64(tag) * 0x9e3779b97f4a7c15ULL;
+  mix ^= util::hash64(a) * 0xff51afd7ed558ccdULL;
+  mix ^= util::hash64(b) * 0xc4ceb9fe1a85ec53ULL;
+  return util::hash64(mix);
+}
+
+PraEngine::PraEngine(const EncounterModel& model, PraConfig config)
+    : model_(model), config_(std::move(config)) {
+  if (config_.population < 2) {
+    throw std::invalid_argument("PraEngine: population must be >= 2");
+  }
+  if (config_.performance_runs == 0 || config_.encounter_runs == 0) {
+    throw std::invalid_argument("PraEngine: run counts must be positive");
+  }
+  if (!(config_.minority_fraction > 0.0 && config_.minority_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "PraEngine: minority_fraction must be in (0, 1)");
+  }
+  if (model_.protocol_count() < 2) {
+    throw std::invalid_argument("PraEngine: need at least 2 protocols");
+  }
+}
+
+std::size_t PraEngine::pi_count(double pi_fraction) const {
+  const auto count = static_cast<std::size_t>(
+      std::lround(pi_fraction * static_cast<double>(config_.population)));
+  return std::clamp<std::size_t>(count, 1, config_.population - 1);
+}
+
+std::vector<std::uint32_t> PraEngine::opponents_of(std::uint32_t p) const {
+  const std::uint32_t count = model_.protocol_count();
+  std::vector<std::uint32_t> all;
+  all.reserve(count - 1);
+  for (std::uint32_t o = 0; o < count; ++o) {
+    if (o != p) all.push_back(o);
+  }
+  if (config_.opponent_sample == 0 || config_.opponent_sample >= all.size()) {
+    return all;
+  }
+  // A seeded partial Fisher-Yates keeps the sample stable across calls for
+  // the same protocol, so tournaments at different splits stay comparable.
+  util::Rng rng(derive_seed(config_.seed, /*tag=*/0xA11, p, 0));
+  for (std::size_t i = 0; i < config_.opponent_sample; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(config_.opponent_sample);
+  return all;
+}
+
+std::vector<double> PraEngine::raw_performance() const {
+  const std::uint32_t count = model_.protocol_count();
+  std::vector<double> raw(count, 0.0);
+  std::atomic<std::size_t> done{0};
+
+  util::ThreadPool pool(config_.threads == 0
+                            ? util::ThreadPool::default_thread_count()
+                            : config_.threads);
+  pool.parallel_for(count, [&](std::size_t p) {
+    std::vector<double> runs(config_.performance_runs);
+    for (std::size_t r = 0; r < config_.performance_runs; ++r) {
+      runs[r] = model_.homogeneous_utility(
+          static_cast<std::uint32_t>(p), config_.population,
+          derive_seed(config_.seed, /*tag=*/0x9E4F, p, r));
+    }
+    raw[p] = stats::mean(runs);
+    if (config_.progress) config_.progress(++done, count);
+  });
+  return raw;
+}
+
+std::vector<double> PraEngine::tournament(double pi_fraction) const {
+  if (!(pi_fraction > 0.0 && pi_fraction < 1.0)) {
+    throw std::invalid_argument("PraEngine::tournament: bad split");
+  }
+  const std::uint32_t count = model_.protocol_count();
+  const std::size_t count_pi = pi_count(pi_fraction);
+  const std::size_t count_other = config_.population - count_pi;
+  // Distinct seeds per split so the 50-50 and 90-10 experiments are
+  // independent samples, as in the paper.
+  const auto split_tag = static_cast<std::uint64_t>(
+      std::llround(pi_fraction * 1000.0));
+
+  std::vector<double> win_rate(count, 0.0);
+  std::atomic<std::size_t> done{0};
+
+  util::ThreadPool pool(config_.threads == 0
+                            ? util::ThreadPool::default_thread_count()
+                            : config_.threads);
+  pool.parallel_for(count, [&](std::size_t p) {
+    const std::vector<std::uint32_t> opponents =
+        opponents_of(static_cast<std::uint32_t>(p));
+    std::size_t wins = 0;
+    std::size_t games = 0;
+    for (std::uint32_t opponent : opponents) {
+      for (std::size_t run = 0; run < config_.encounter_runs; ++run) {
+        const std::uint64_t seed =
+            derive_seed(config_.seed, split_tag,
+                        (static_cast<std::uint64_t>(p) << 32) | opponent, run);
+        const auto [pi_mean, other_mean] = model_.mixed_utilities(
+            static_cast<std::uint32_t>(p), opponent, count_pi, count_other,
+            seed);
+        // A strict win, as in Sec. 4.3.2 ("otherwise we mark it as a Loss").
+        if (pi_mean > other_mean) ++wins;
+        ++games;
+      }
+    }
+    win_rate[p] = games == 0
+                      ? 0.0
+                      : static_cast<double>(wins) / static_cast<double>(games);
+    if (config_.progress) config_.progress(++done, count);
+  });
+  return win_rate;
+}
+
+PraScores PraEngine::run() const {
+  PraScores scores;
+  scores.raw_performance = raw_performance();
+  const double best = stats::max_value(scores.raw_performance);
+  scores.performance.resize(scores.raw_performance.size(), 0.0);
+  if (best > 0.0) {
+    for (std::size_t i = 0; i < scores.performance.size(); ++i) {
+      scores.performance[i] = scores.raw_performance[i] / best;
+    }
+  }
+  scores.robustness = tournament(0.5);
+  scores.aggressiveness = tournament(config_.minority_fraction);
+  return scores;
+}
+
+}  // namespace dsa::core

@@ -1,0 +1,113 @@
+#include "core/search.hpp"
+
+#include <stdexcept>
+
+#include "core/pra.hpp"
+#include "stats/descriptive.hpp"
+
+namespace dsa::core {
+
+HeuristicSearch::HeuristicSearch(const EncounterModel& model,
+                                 NeighborFn neighbor, SearchConfig config)
+    : model_(model), neighbor_(std::move(neighbor)), config_(config) {
+  if (!neighbor_) {
+    throw std::invalid_argument("HeuristicSearch: neighbor fn required");
+  }
+  if (config_.restarts == 0 || config_.steps_per_restart == 0 ||
+      config_.eval_runs == 0 || config_.opponent_probes == 0) {
+    throw std::invalid_argument("HeuristicSearch: counts must be positive");
+  }
+  if (config_.performance_weight < 0.0 || config_.performance_weight > 1.0) {
+    throw std::invalid_argument(
+        "HeuristicSearch: performance_weight outside [0, 1]");
+  }
+  if (config_.reference_protocol >= model_.protocol_count()) {
+    throw std::invalid_argument(
+        "HeuristicSearch: reference protocol outside the space");
+  }
+  memo_.assign(model_.protocol_count(), -1.0);
+}
+
+double HeuristicSearch::objective(std::uint32_t protocol) {
+  if (protocol >= model_.protocol_count()) {
+    throw std::out_of_range("HeuristicSearch::objective: bad protocol id");
+  }
+  if (memo_[protocol] >= 0.0) return memo_[protocol];
+
+  auto homogeneous = [&](std::uint32_t p) {
+    std::vector<double> runs(config_.eval_runs);
+    for (std::size_t r = 0; r < config_.eval_runs; ++r) {
+      runs[r] = model_.homogeneous_utility(
+          p, config_.population, derive_seed(config_.seed, 0x5EA, p, r));
+    }
+    return stats::mean(runs);
+  };
+  if (reference_performance_ < 0.0) {
+    reference_performance_ = homogeneous(config_.reference_protocol);
+  }
+
+  const double raw = homogeneous(protocol);
+  const double denom = raw + reference_performance_;
+  const double perf_score = denom > 0.0 ? raw / denom : 0.0;
+
+  // Robustness probe: 50/50 encounters against random opponents.
+  util::Rng rng(derive_seed(config_.seed, 0x0B, protocol, 1));
+  std::size_t wins = 0;
+  const std::size_t half = config_.population / 2;
+  for (std::size_t probe = 0; probe < config_.opponent_probes; ++probe) {
+    std::uint32_t opponent;
+    do {
+      opponent = static_cast<std::uint32_t>(rng.below(model_.protocol_count()));
+    } while (opponent == protocol);
+    const auto [mine, theirs] = model_.mixed_utilities(
+        protocol, opponent, half, config_.population - half,
+        derive_seed(config_.seed, 0x0C, protocol, probe));
+    if (mine > theirs) ++wins;
+  }
+  const double win_rate = static_cast<double>(wins) /
+                          static_cast<double>(config_.opponent_probes);
+
+  const double value = config_.performance_weight * perf_score +
+                       (1.0 - config_.performance_weight) * win_rate;
+  memo_[protocol] = value;
+  return value;
+}
+
+SearchResult HeuristicSearch::run() {
+  SearchResult result;
+  util::Rng rng(derive_seed(config_.seed, 0x5EEC, 0, 0));
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    std::uint32_t current =
+        static_cast<std::uint32_t>(rng.below(model_.protocol_count()));
+    double current_value = objective(current);
+    result.trajectory.emplace_back(current, current_value);
+
+    for (std::size_t step = 0; step < config_.steps_per_restart; ++step) {
+      const std::uint32_t candidate = neighbor_(current, rng);
+      if (candidate >= model_.protocol_count()) {
+        throw std::out_of_range(
+            "HeuristicSearch: neighbor returned an invalid protocol");
+      }
+      const double candidate_value = objective(candidate);
+      if (candidate_value > current_value) {
+        current = candidate;
+        current_value = candidate_value;
+        result.trajectory.emplace_back(current, current_value);
+      }
+    }
+    if (current_value > result.best_objective ||
+        result.evaluations == 0) {
+      result.best_objective = current_value;
+      result.best_protocol = current;
+    }
+    // Count evaluations so far (memoized entries).
+    result.evaluations = 0;
+    for (double v : memo_) {
+      if (v >= 0.0) ++result.evaluations;
+    }
+  }
+  return result;
+}
+
+}  // namespace dsa::core

@@ -1,0 +1,76 @@
+// Heuristic exploration of a design space — the solution concept the paper
+// names as future work (Sec. 7): "a heuristic based approach ... could be
+// needed in situations where a thorough scan of the design space becomes
+// infeasible due to its size."
+//
+// We implement stochastic hill climbing with random restarts. The objective
+// blends the two PRA measures a designer typically trades off:
+//
+//   objective(p) = w * perf(p) / (perf(p) + perf(reference))
+//               + (1 - w) * win-rate of p vs a random opponent probe set
+//
+// where perf() is homogeneous-population utility. The performance term is a
+// bounded monotone transform (0.5 means "as good as the reference
+// protocol"), so the objective lives in [0, 1) without knowing the space's
+// true maximum — exactly the situation a heuristic search is for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::core {
+
+/// Produces a random neighbor of `current` (a protocol differing in one
+/// design dimension, typically). Must return a valid protocol id.
+using NeighborFn = std::function<std::uint32_t(std::uint32_t current,
+                                               util::Rng& rng)>;
+
+/// Search controls.
+struct SearchConfig {
+  std::size_t population = 50;
+  std::size_t restarts = 4;            // independent climbs
+  std::size_t steps_per_restart = 40;  // neighbor proposals per climb
+  std::size_t eval_runs = 3;           // homogeneous runs per evaluation
+  std::size_t opponent_probes = 8;     // random opponents per evaluation
+  double performance_weight = 0.5;     // w above
+  std::uint32_t reference_protocol = 0;  // perf scale anchor
+  std::uint64_t seed = 7;
+};
+
+/// Outcome of a search.
+struct SearchResult {
+  std::uint32_t best_protocol = 0;
+  double best_objective = 0.0;
+  /// (protocol, objective) whenever a climb improved its local best.
+  std::vector<std::pair<std::uint32_t, double>> trajectory;
+  std::size_t evaluations = 0;  // distinct protocols evaluated
+};
+
+/// Stochastic hill climber over an EncounterModel's protocol space.
+class HeuristicSearch {
+ public:
+  /// The model must outlive the search. Throws std::invalid_argument on
+  /// degenerate configs (zero restarts/steps/runs, weight outside [0, 1],
+  /// reference protocol out of range).
+  HeuristicSearch(const EncounterModel& model, NeighborFn neighbor,
+                  SearchConfig config);
+
+  /// Runs all restarts; deterministic in config.seed.
+  [[nodiscard]] SearchResult run();
+
+  /// The blended objective of one protocol (memoized across calls).
+  [[nodiscard]] double objective(std::uint32_t protocol);
+
+ private:
+  const EncounterModel& model_;
+  NeighborFn neighbor_;
+  SearchConfig config_;
+  double reference_performance_ = -1.0;  // lazily computed
+  std::vector<double> memo_;             // -1 = not yet evaluated
+};
+
+}  // namespace dsa::core

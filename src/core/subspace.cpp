@@ -1,0 +1,24 @@
+#include "core/subspace.hpp"
+
+#include <unordered_set>
+
+namespace dsa::core {
+
+SubspaceModel::SubspaceModel(const EncounterModel& base,
+                             std::vector<std::uint32_t> members)
+    : base_(base), members_(std::move(members)) {
+  if (members_.size() < 2) {
+    throw std::invalid_argument("SubspaceModel: need at least 2 members");
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint32_t id : members_) {
+    if (id >= base_.protocol_count()) {
+      throw std::invalid_argument("SubspaceModel: member outside base space");
+    }
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("SubspaceModel: duplicate member");
+    }
+  }
+}
+
+}  // namespace dsa::core

@@ -1,0 +1,262 @@
+#include "gametheory/expected_wins.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsa::gametheory {
+
+namespace {
+
+void check(const ClassSetup& setup) {
+  if (!setup.valid()) {
+    throw std::invalid_argument(
+        "ClassSetup violates the model assumptions (need Ur >= 1, NA > Ur, "
+        "NC > Ur + 1, Nr > 0)");
+  }
+}
+
+/// K = 1 - ((1 - E[A->c]) (1 - 1/Ur))^Ur  — the probability that at least
+/// one of c's same-class partners receives a free game win from a higher
+/// class (and deserts c to reciprocate it). `exponent` is Ur in the
+/// homogeneous model and Ur - 1 in the Appendix's K'.
+double desertion_probability(double free_from_above, double regular_slots,
+                             double exponent) {
+  const double keep =
+      (1.0 - free_from_above) * (1.0 - 1.0 / regular_slots);
+  return 1.0 - std::pow(keep, exponent);
+}
+
+}  // namespace
+
+double ClassSetup::contention_pool() const {
+  return static_cast<double>(peers_above + peers_below + peers_same) -
+         static_cast<double>(regular_slots) - 1.0;
+}
+
+bool ClassSetup::valid() const {
+  return regular_slots >= 1 && peers_above > regular_slots &&
+         peers_same > regular_slots + 1 && contention_pool() > 0.0;
+}
+
+namespace {
+
+/// Formula bodies without the standing-assumption check; the population
+/// functions admit the top class (NA = 0), for which E[A->c] = 0 and K
+/// reduces to the partners' own optimistic-churn term.
+ExpectedWins bittorrent_wins_impl(const ClassSetup& setup);
+ExpectedWins birds_wins_impl(const ClassSetup& setup);
+
+}  // namespace
+
+ExpectedWins bittorrent_expected_wins(const ClassSetup& setup) {
+  check(setup);
+  return bittorrent_wins_impl(setup);
+}
+
+namespace {
+
+ExpectedWins bittorrent_wins_impl(const ClassSetup& setup) {
+  const double nr = setup.contention_pool();
+  const double na = static_cast<double>(setup.peers_above);
+  const double nb = static_cast<double>(setup.peers_below);
+  const double nc = static_cast<double>(setup.peers_same);
+  const double ur = static_cast<double>(setup.regular_slots);
+
+  ExpectedWins w;
+  // Higher classes never reciprocate (Er[A->c] = 0) but do hand out
+  // optimistic first moves: E[A->c] = NA / Nr.
+  w.reciprocated_above = 0.0;
+  w.free_above = na / nr;
+  // Lower classes: E[B->c] = Er[B->c] = NB / Nr.
+  w.reciprocated_below = nb / nr;
+  w.free_below = nb / nr;
+  // Same class (formula (1)): Er[C->c] = Ur - E[A->c] - K.
+  const double k = desertion_probability(w.free_above, ur, ur);
+  w.reciprocated_same = ur - w.free_above - k;
+  // E[C->c] = (NC - 1 - Er[C->c]) / Nr.
+  w.free_same = (nc - 1.0 - w.reciprocated_same) / nr;
+  return w;
+}
+
+}  // namespace
+
+ExpectedWins birds_expected_wins(const ClassSetup& setup) {
+  check(setup);
+  return birds_wins_impl(setup);
+}
+
+namespace {
+
+ExpectedWins birds_wins_impl(const ClassSetup& setup) {
+  const double nr = setup.contention_pool();
+  const double na = static_cast<double>(setup.peers_above);
+  const double nb = static_cast<double>(setup.peers_below);
+  const double nc = static_cast<double>(setup.peers_same);
+  const double ur = static_cast<double>(setup.regular_slots);
+
+  ExpectedWins w;
+  // Birds peers only reciprocate within their own class:
+  // ErB[A->c] = ErB[B->c] = 0, ErB[C->c] = Ur.
+  w.reciprocated_above = 0.0;
+  w.reciprocated_below = 0.0;
+  w.reciprocated_same = ur;
+  // Free game wins are unchanged relative to BitTorrent.
+  w.free_above = na / nr;
+  w.free_below = nb / nr;
+  // EB[C->c] = (NC - 1 - Ur) / Nr.
+  w.free_same = (nc - 1.0 - ur) / nr;
+  return w;
+}
+
+}  // namespace
+
+bool ClassProfile::valid() const {
+  if (class_sizes.size() < 2 || regular_slots == 0) return false;
+  std::size_t above = 0;
+  // Walk from the fastest class down; `above` accumulates the faster peers.
+  for (std::size_t c = class_sizes.size(); c-- > 0;) {
+    const ClassSetup setup = setup_for(c);
+    if (setup.peers_same <= regular_slots + 1) return false;
+    if (above > 0 && above <= regular_slots) return false;
+    if (setup.contention_pool() <= 0.0) return false;
+    above += class_sizes[c];
+  }
+  return true;
+}
+
+ClassSetup ClassProfile::setup_for(std::size_t c) const {
+  if (c >= class_sizes.size()) {
+    throw std::out_of_range("ClassProfile::setup_for: class index");
+  }
+  ClassSetup setup;
+  setup.regular_slots = regular_slots;
+  setup.peers_same = class_sizes[c];
+  for (std::size_t i = 0; i < c; ++i) setup.peers_below += class_sizes[i];
+  for (std::size_t i = c + 1; i < class_sizes.size(); ++i) {
+    setup.peers_above += class_sizes[i];
+  }
+  return setup;
+}
+
+namespace {
+
+std::vector<ExpectedWins> population_wins(
+    const ClassProfile& profile, ExpectedWins (*impl)(const ClassSetup&)) {
+  if (!profile.valid()) {
+    throw std::invalid_argument(
+        "ClassProfile violates the model assumptions (need Ur >= 1, every "
+        "class > Ur + 1 peers, every non-top class with > Ur peers above)");
+  }
+  std::vector<ExpectedWins> wins;
+  wins.reserve(profile.class_sizes.size());
+  for (std::size_t c = 0; c < profile.class_sizes.size(); ++c) {
+    wins.push_back(impl(profile.setup_for(c)));
+  }
+  return wins;
+}
+
+}  // namespace
+
+std::vector<ExpectedWins> bittorrent_population_wins(
+    const ClassProfile& profile) {
+  return population_wins(profile, &bittorrent_wins_impl);
+}
+
+std::vector<ExpectedWins> birds_population_wins(const ClassProfile& profile) {
+  return population_wins(profile, &birds_wins_impl);
+}
+
+InvasionAnalysis birds_invades_bittorrent(const ClassSetup& setup) {
+  check(setup);
+  const double nr = setup.contention_pool();
+  const double na = static_cast<double>(setup.peers_above);
+  const double nb = static_cast<double>(setup.peers_below);
+  const double nc = static_cast<double>(setup.peers_same);
+  const double nc_prime = nc - 1.0;  // BT peers left in c's class
+  const double ur = static_cast<double>(setup.regular_slots);
+
+  const double free_above = na / nr;
+  const double k = desertion_probability(free_above, ur, ur);
+  const double k_prime = desertion_probability(free_above, ur, ur - 1.0);
+
+  InvasionAnalysis analysis;
+
+  // Wins sourced from other classes are identical for invader and incumbent:
+  // with a BT majority the lower classes reciprocate upward, so the Birds
+  // invader's ErB[B->c]' = NB/Nr too (Appendix).
+  for (ExpectedWins* w : {&analysis.invader, &analysis.incumbent}) {
+    w->reciprocated_above = 0.0;
+    w->free_above = free_above;
+    w->reciprocated_below = nb / nr;
+    w->free_below = nb / nr;
+  }
+
+  // Same-class reciprocation (Appendix):
+  //   Birds invader:   ErB[C->c]' = Ur - K
+  //   BT incumbent:    Er[C->c]'  = Ur - K - E[A->c] - (Ur/NC')(K + K')
+  analysis.invader.reciprocated_same = ur - k;
+  analysis.incumbent.reciprocated_same =
+      ur - k - free_above - (ur / nc_prime) * (k + k_prime);
+
+  // Same-class free game wins (Appendix):
+  //   EB[C->c]' = (NC'/NC) (NC - Er[C->c]') / Nr
+  //   E[C->c]'  = EB[C->c]' + (NC - ErB[C->c]') / (NC Nr)
+  analysis.invader.free_same =
+      (nc_prime / nc) * (nc - analysis.incumbent.reciprocated_same) / nr;
+  analysis.incumbent.free_same =
+      analysis.invader.free_same +
+      (nc - analysis.invader.reciprocated_same) / (nc * nr);
+
+  analysis.invader_outperforms =
+      analysis.invader.total() > analysis.incumbent.total();
+  return analysis;
+}
+
+InvasionAnalysis bittorrent_invades_birds(const ClassSetup& setup) {
+  check(setup);
+  const double nr = setup.contention_pool();
+  const double na = static_cast<double>(setup.peers_above);
+  const double nb = static_cast<double>(setup.peers_below);
+  const double nc = static_cast<double>(setup.peers_same);
+  const double nc_prime = nc - 1.0;  // Birds peers left in c's class
+  const double ur = static_cast<double>(setup.regular_slots);
+
+  const double free_above = na / nr;
+
+  InvasionAnalysis analysis;
+
+  // In an all-Birds swarm nobody reciprocates across classes; free game wins
+  // from other classes are unchanged (Appendix: "Free game wins remain the
+  // same").
+  for (ExpectedWins* w : {&analysis.invader, &analysis.incumbent}) {
+    w->reciprocated_above = 0.0;
+    w->reciprocated_below = 0.0;
+    w->free_above = free_above;
+    w->free_below = nb / nr;
+  }
+
+  // Same-class reciprocation (Appendix):
+  //   Birds incumbent: ErB[C->c]'' = Ur - (Ur/NC') E[A->c]
+  //   BT invader:      Er[C->c]''  = Ur - E[A->c]
+  analysis.incumbent.reciprocated_same =
+      ur - (ur / nc_prime) * free_above;
+  analysis.invader.reciprocated_same = ur - free_above;
+
+  // Same-class free game wins (Appendix). The unprimed ErB/Er terms refer to
+  // the homogeneous-population values of Secs. 2.2-2.3: ErB[C->c] = Ur and
+  // Er[C->c] = Ur - E[A->c] - K.
+  const double k = desertion_probability(free_above, ur, ur);
+  const double homogeneous_birds_same = ur;
+  const double homogeneous_bt_same = ur - free_above - k;
+  analysis.invader.free_same =
+      (nc_prime / nc) * (nc_prime - homogeneous_birds_same) / nr;
+  analysis.incumbent.free_same =
+      analysis.invader.free_same +
+      (nc_prime - homogeneous_bt_same) / (nc_prime * nr);
+
+  analysis.invader_outperforms =
+      analysis.invader.total() > analysis.incumbent.total();
+  return analysis;
+}
+
+}  // namespace dsa::gametheory

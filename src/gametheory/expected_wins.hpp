@@ -1,0 +1,99 @@
+// The analytical model of Sec. 2.2 and the Appendix: closed-form expected
+// numbers of "game wins" (received cooperation) for a peer c of a given
+// bandwidth class, under the BitTorrent (TFT) and Birds protocols, plus the
+// single-invader analysis that proves BitTorrent is not a Nash equilibrium
+// while Birds is.
+//
+// Notation follows Table 1 of the paper:
+//   NA / NB / NC — number of peers in classes above / below / equal to c's;
+//   Ur           — number of regular (reciprocation) unchoke slots;
+//   Nr           — NA + NB + NC - Ur - 1;
+// and the number of optimistic-unchoke slots is fixed at 1, as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsa::gametheory {
+
+/// Population composition around a focal peer c (Table 1).
+struct ClassSetup {
+  std::size_t peers_above = 0;   // NA
+  std::size_t peers_below = 0;   // NB
+  std::size_t peers_same = 0;    // NC (includes peer c itself)
+  std::size_t regular_slots = 0; // Ur
+
+  /// Nr = NA + NB + NC - Ur - 1.
+  [[nodiscard]] double contention_pool() const;
+
+  /// The model's standing assumptions: NA > Ur (higher classes never need
+  /// lower-class partners), NC > Ur + 1 (a full partner set fits in c's own
+  /// class), and Ur >= 1.
+  [[nodiscard]] bool valid() const;
+};
+
+/// Expected game wins of the focal peer, split by source (Table 1's
+/// Er[X -> c] and E[X -> c]).
+struct ExpectedWins {
+  double reciprocated_above = 0.0;  // Er[A -> c]
+  double reciprocated_below = 0.0;  // Er[B -> c]
+  double reciprocated_same = 0.0;   // Er[C -> c]
+  double free_above = 0.0;          // E[A -> c]
+  double free_below = 0.0;          // E[B -> c]
+  double free_same = 0.0;           // E[C -> c]
+
+  [[nodiscard]] double total() const {
+    return reciprocated_above + reciprocated_below + reciprocated_same +
+           free_above + free_below + free_same;
+  }
+};
+
+/// Sec. 2.2: expected wins of a BitTorrent peer in an all-BitTorrent swarm.
+/// Throws std::invalid_argument when !setup.valid().
+ExpectedWins bittorrent_expected_wins(const ClassSetup& setup);
+
+/// Sec. 2.3: expected wins of a Birds peer in an all-Birds swarm.
+ExpectedWins birds_expected_wins(const ClassSetup& setup);
+
+/// Outcome of the Appendix single-invader analysis.
+struct InvasionAnalysis {
+  ExpectedWins invader;            // the single deviating peer
+  ExpectedWins incumbent;          // a same-class peer of the majority
+  bool invader_outperforms = false;  // invader.total() > incumbent.total()
+};
+
+/// Appendix, part 1: one Birds peer enters a swarm of BitTorrent peers.
+/// invader_outperforms == true demonstrates BitTorrent is NOT a Nash
+/// equilibrium.
+InvasionAnalysis birds_invades_bittorrent(const ClassSetup& setup);
+
+/// Appendix, part 2: one BitTorrent peer enters a swarm of Birds peers.
+/// invader_outperforms == false (the Birds incumbents win) demonstrates
+/// Birds IS a Nash equilibrium.
+InvasionAnalysis bittorrent_invades_birds(const ClassSetup& setup);
+
+/// A full multi-class population: class_sizes[i] peers in class i, ordered
+/// from slowest (index 0) to fastest. The Table 1 quantities for a focal
+/// peer of class c follow as NA = sum of sizes above c, NB = sum below,
+/// NC = class_sizes[c].
+struct ClassProfile {
+  std::vector<std::size_t> class_sizes;  // slowest first
+  std::size_t regular_slots = 0;         // Ur
+
+  /// The model's assumptions applied per class: every class needs
+  /// NC > Ur + 1, and every non-top class needs NA > Ur (the top class has
+  /// NA = 0 — nobody above to desert to, so its K uses E[A->c] = 0).
+  [[nodiscard]] bool valid() const;
+
+  /// The focal-peer view from class `c`; throws std::out_of_range.
+  [[nodiscard]] ClassSetup setup_for(std::size_t c) const;
+};
+
+/// Sec. 2.2 evaluated for EVERY class of a population at once: entry c is
+/// the expected wins of a peer in class c when all peers run BitTorrent
+/// (resp. Birds). Throws std::invalid_argument when !profile.valid().
+std::vector<ExpectedWins> bittorrent_population_wins(
+    const ClassProfile& profile);
+std::vector<ExpectedWins> birds_population_wins(const ClassProfile& profile);
+
+}  // namespace dsa::gametheory

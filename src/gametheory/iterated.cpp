@@ -1,0 +1,117 @@
+#include "gametheory/iterated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dsa::gametheory {
+
+double IteratedResult::mean_over(
+    const std::vector<std::size_t>& indices) const {
+  if (indices.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i : indices) sum += average_wins.at(i);
+  return sum / static_cast<double>(indices.size());
+}
+
+IteratedResult simulate_iterated_games(const std::vector<PeerSpec>& peers,
+                                       const IteratedConfig& config) {
+  const std::size_t n = peers.size();
+  if (n < 2) {
+    throw std::invalid_argument("simulate_iterated_games: need >= 2 peers");
+  }
+  if (config.regular_slots == 0 || config.rounds == 0) {
+    throw std::invalid_argument(
+        "simulate_iterated_games: slots and rounds must be positive");
+  }
+
+  util::Rng rng(config.seed);
+
+  // cooperated_last[i] lists who cooperated with peer i in the previous
+  // round; wins[i] counts incoming cooperations over all rounds.
+  std::vector<std::vector<std::uint32_t>> cooperated_last(n);
+  std::vector<std::vector<std::uint32_t>> cooperated_next(n);
+  std::vector<std::uint64_t> wins(n, 0);
+
+  std::vector<std::uint32_t> candidates;
+  std::vector<char> chosen(n, 0);
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (auto& list : cooperated_next) list.clear();
+
+    for (std::size_t me = 0; me < n; ++me) {
+      const PeerSpec& self = peers[me];
+      candidates.assign(cooperated_last[me].begin(),
+                        cooperated_last[me].end());
+
+      // Rank last round's cooperators per strategy and reciprocate with the
+      // top Ur of them.
+      if (self.strategy == Strategy::kBitTorrent) {
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    if (peers[a].speed != peers[b].speed) {
+                      return peers[a].speed > peers[b].speed;
+                    }
+                    return a < b;
+                  });
+      } else {
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    const double da = std::fabs(peers[a].speed - self.speed);
+                    const double db = std::fabs(peers[b].speed - self.speed);
+                    if (da != db) return da < db;
+                    return a < b;
+                  });
+      }
+      const std::size_t reciprocations =
+          std::min(config.regular_slots, candidates.size());
+
+      std::fill(chosen.begin(), chosen.end(), 0);
+      for (std::size_t slot = 0; slot < reciprocations; ++slot) {
+        const std::uint32_t partner = candidates[slot];
+        chosen[partner] = 1;
+        cooperated_next[partner].push_back(static_cast<std::uint32_t>(me));
+        ++wins[partner];
+      }
+
+      // One optimistic first-move cooperation with a random non-partner
+      // (skipped when every other peer is already reciprocated with).
+      if (reciprocations < n - 1) {
+        std::uint32_t target;
+        do {
+          target = static_cast<std::uint32_t>(rng.below(n));
+        } while (target == me || chosen[target]);
+        cooperated_next[target].push_back(static_cast<std::uint32_t>(me));
+        ++wins[target];
+      }
+    }
+
+    cooperated_last.swap(cooperated_next);
+  }
+
+  IteratedResult result;
+  result.average_wins.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.average_wins[i] =
+        static_cast<double>(wins[i]) / static_cast<double>(config.rounds);
+  }
+  return result;
+}
+
+std::vector<PeerSpec> uniform_population(
+    const std::vector<double>& class_speeds, std::size_t count_per_class,
+    Strategy strategy) {
+  std::vector<PeerSpec> peers;
+  peers.reserve(class_speeds.size() * count_per_class);
+  for (double speed : class_speeds) {
+    for (std::size_t i = 0; i < count_per_class; ++i) {
+      peers.push_back(PeerSpec{speed, strategy});
+    }
+  }
+  return peers;
+}
+
+}  // namespace dsa::gametheory

@@ -1,0 +1,59 @@
+// Agent-based simulator of the Sec. 2.1 iterated-games model: a population
+// of peers, each with an upload speed (its bandwidth class), playing
+// TFT-style rounds with Ur regular reciprocation slots and one optimistic
+// first-move slot. A peer "wins a game" whenever another peer cooperates
+// with it in a round (Table 1's notion of game wins).
+//
+// Two strategies are modeled:
+//  * BitTorrent — reciprocate with the Ur *fastest* of last round's
+//    cooperators;
+//  * Birds      — reciprocate with the Ur cooperators *closest to one's own
+//    speed* (Sec. 2.3's deployment of the Fig. 1(c) payoffs).
+//
+// The simulator exists to cross-check the closed forms of expected_wins.hpp:
+// a lone Birds invader should out-win the BitTorrent incumbents of its own
+// class, and a lone BitTorrent invader should under-win Birds incumbents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsa::gametheory {
+
+/// Peer strategy in the iterated-games model.
+enum class Strategy { kBitTorrent, kBirds };
+
+/// One peer of the population.
+struct PeerSpec {
+  double speed = 1.0;
+  Strategy strategy = Strategy::kBitTorrent;
+};
+
+/// Simulation controls.
+struct IteratedConfig {
+  std::size_t regular_slots = 4;  // Ur
+  std::size_t rounds = 500;
+  std::uint64_t seed = 42;
+};
+
+/// Per-peer outcome.
+struct IteratedResult {
+  /// Average games won per round, indexed like the input population.
+  std::vector<double> average_wins;
+
+  /// Mean of average_wins over the peers selected by `indices`.
+  [[nodiscard]] double mean_over(const std::vector<std::size_t>& indices) const;
+};
+
+/// Runs the iterated-games model. Throws std::invalid_argument for empty
+/// populations or zero slots/rounds.
+IteratedResult simulate_iterated_games(const std::vector<PeerSpec>& peers,
+                                       const IteratedConfig& config);
+
+/// Convenience: builds a population with `count_per_class` peers at each of
+/// the given class speeds, all using `strategy`.
+std::vector<PeerSpec> uniform_population(
+    const std::vector<double>& class_speeds, std::size_t count_per_class,
+    Strategy strategy);
+
+}  // namespace dsa::gametheory

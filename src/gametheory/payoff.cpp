@@ -1,0 +1,102 @@
+#include "gametheory/payoff.hpp"
+
+namespace dsa::gametheory {
+
+Action BimatrixGame::best_response(Role role, Action opponent) const {
+  double coop, defect;
+  if (role == Role::kFast) {
+    coop = payoff(role, Action::kCooperate, opponent);
+    defect = payoff(role, Action::kDefect, opponent);
+  } else {
+    coop = payoff(role, opponent, Action::kCooperate);
+    defect = payoff(role, opponent, Action::kDefect);
+  }
+  return defect > coop ? Action::kDefect : Action::kCooperate;
+}
+
+Action BimatrixGame::dominant_action(Role role) const {
+  const Action vs_coop = best_response(role, Action::kCooperate);
+  const Action vs_defect = best_response(role, Action::kDefect);
+  if (vs_coop == vs_defect) return vs_coop;
+  // One action may still weakly dominate if the other arm is a tie.
+  auto value = [&](Action own, Action other) {
+    return role == Role::kFast ? payoff(role, own, other)
+                               : payoff(role, other, own);
+  };
+  for (Action candidate : {Action::kCooperate, Action::kDefect}) {
+    const Action alternative = candidate == Action::kCooperate
+                                   ? Action::kDefect
+                                   : Action::kCooperate;
+    bool dominates = true;
+    for (Action other : {Action::kCooperate, Action::kDefect}) {
+      if (value(candidate, other) < value(alternative, other)) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) return candidate;
+  }
+  throw std::logic_error("BimatrixGame: no dominant action for this role");
+}
+
+bool BimatrixGame::is_nash(Action fast_action, Action slow_action) const {
+  const Action fast_alternative = fast_action == Action::kCooperate
+                                      ? Action::kDefect
+                                      : Action::kCooperate;
+  const Action slow_alternative = slow_action == Action::kCooperate
+                                      ? Action::kDefect
+                                      : Action::kCooperate;
+  const bool fast_happy =
+      payoff(Role::kFast, fast_action, slow_action) >=
+      payoff(Role::kFast, fast_alternative, slow_action);
+  const bool slow_happy =
+      payoff(Role::kSlow, fast_action, slow_action) >=
+      payoff(Role::kSlow, fast_action, slow_alternative);
+  return fast_happy && slow_happy;
+}
+
+namespace {
+void check_speeds(double fast_speed, double slow_speed) {
+  if (!(fast_speed > slow_speed) || !(slow_speed > 0.0)) {
+    throw std::invalid_argument("BitTorrent Dilemma requires f > s > 0");
+  }
+}
+}  // namespace
+
+BimatrixGame bittorrent_dilemma(double f, double s) {
+  check_speeds(f, s);
+  BimatrixGame::Table t{};
+  // Cell = {fast payoff, slow payoff}; rows = fast action, cols = slow.
+  t[0][0] = {s - f, f};  // both cooperate
+  t[0][1] = {0.0, s};    // fast cooperates, slow defects (slow nets f+(s-f))
+  t[1][0] = {s, 0.0};    // fast defects on a cooperating slow
+  t[1][1] = {0.0, 0.0};  // both defect
+  return BimatrixGame(t);
+}
+
+BimatrixGame prisoners_dilemma(double temptation, double reward,
+                               double punishment, double sucker) {
+  if (!(temptation > reward && reward > punishment && punishment > sucker)) {
+    throw std::invalid_argument("prisoners_dilemma requires T > R > P > S");
+  }
+  BimatrixGame::Table t{};
+  t[0][0] = {reward, reward};
+  t[0][1] = {sucker, temptation};
+  t[1][0] = {temptation, sucker};
+  t[1][1] = {punishment, punishment};
+  return BimatrixGame(t);
+}
+
+BimatrixGame birds_payoffs(double f, double s) {
+  check_speeds(f, s);
+  BimatrixGame::Table t{};
+  // The slow peer now accounts for the opportunity cost of a missed
+  // slow-slow relationship when cooperating with the fast peer.
+  t[0][0] = {s - f, f - s};  // both cooperate
+  t[0][1] = {0.0, f};        // fast cooperates, slow defects
+  t[1][0] = {s, 0.0};        // fast defects, slow cooperates
+  t[1][1] = {0.0, 0.0};      // both defect
+  return BimatrixGame(t);
+}
+
+}  // namespace dsa::gametheory

@@ -1,0 +1,80 @@
+// The BitTorrent Dilemma (Fig. 1 of the paper): a 2x2 game between a fast
+// peer (upload speed f) and a slow peer (upload speed s < f).
+//
+// Payoffs are reconstructed from the paper's prose (Sec. 2.1, 2.3), which
+// pins down every strategic claim:
+//  * a fast peer cooperating with a slow peer nets s - f < 0 (it receives s
+//    but forgoes an f-speed partner), so Defect dominates for the fast peer;
+//  * in Fig. 1(a) a slow peer values cooperating with a fast peer at f
+//    (the download it receives) and defecting at s (grab f once, then fall
+//    back to a slow-slow relationship: f + (s - f) = s), so Cooperate
+//    dominates for the slow peer — the one-sided "Dictator-like" structure;
+//  * Fig. 1(c) (the Birds view) charges the slow peer the opportunity cost
+//    of the missed slow-slow relationship when it cooperates with the fast
+//    peer (f - s instead of f) and removes the regret from defecting
+//    (payoff f), so Defect becomes dominant for both classes.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+
+namespace dsa::gametheory {
+
+/// Action in a single round of the dilemma.
+enum class Action { kCooperate = 0, kDefect = 1 };
+
+/// Roles in the dilemma.
+enum class Role { kFast = 0, kSlow = 1 };
+
+/// A 2x2 bimatrix game; row player is the fast peer, column player the slow
+/// peer.
+class BimatrixGame {
+ public:
+  /// payoffs[row][col] = {fast payoff, slow payoff}.
+  using Cell = std::array<double, 2>;
+  using Table = std::array<std::array<Cell, 2>, 2>;
+
+  explicit BimatrixGame(const Table& payoffs) : payoffs_(payoffs) {}
+
+  /// Payoff of `role` when fast plays `fast_action` and slow plays
+  /// `slow_action`.
+  [[nodiscard]] double payoff(Role role, Action fast_action,
+                              Action slow_action) const {
+    const Cell& cell = payoffs_[index(fast_action)][index(slow_action)];
+    return cell[static_cast<std::size_t>(role)];
+  }
+
+  /// Best response of `role` to the opponent's action; ties resolve to
+  /// Cooperate (TFT-style default).
+  [[nodiscard]] Action best_response(Role role, Action opponent) const;
+
+  /// Returns the strictly-or-weakly dominant action of `role`, or throws
+  /// std::logic_error when neither action dominates.
+  [[nodiscard]] Action dominant_action(Role role) const;
+
+  /// True when (fast_action, slow_action) is a pure-strategy Nash
+  /// equilibrium.
+  [[nodiscard]] bool is_nash(Action fast_action, Action slow_action) const;
+
+ private:
+  static std::size_t index(Action a) { return static_cast<std::size_t>(a); }
+
+  Table payoffs_;
+};
+
+/// Fig. 1(a): the BitTorrent Dilemma as BitTorrent's TFT perceives it.
+/// Requires f > s > 0; throws std::invalid_argument otherwise.
+BimatrixGame bittorrent_dilemma(double fast_speed, double slow_speed);
+
+/// Fig. 1(c): the modified payoffs that produce the Birds protocol.
+/// Requires f > s > 0; throws std::invalid_argument otherwise.
+BimatrixGame birds_payoffs(double fast_speed, double slow_speed);
+
+/// The classic symmetric Prisoner's Dilemma with temptation T, reward R,
+/// punishment P, sucker's payoff S. Requires T > R > P > S (and, for the
+/// iterated game to favor cooperation, 2R > T + S, which is not enforced).
+/// Throws std::invalid_argument when the ordering is violated.
+BimatrixGame prisoners_dilemma(double temptation = 5.0, double reward = 3.0,
+                               double punishment = 1.0, double sucker = 0.0);
+
+}  // namespace dsa::gametheory

@@ -1,0 +1,216 @@
+#include "gametheory/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsa::gametheory {
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kAllCooperate: return "AllC";
+    case StrategyKind::kAllDefect: return "AllD";
+    case StrategyKind::kTitForTat: return "TFT";
+    case StrategyKind::kTitForTwoTats: return "TF2T";
+    case StrategyKind::kGrimTrigger: return "Grim";
+    case StrategyKind::kWinStayLoseShift: return "WSLS";
+    case StrategyKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::vector<StrategyKind> all_strategies() {
+  return {StrategyKind::kAllCooperate,    StrategyKind::kAllDefect,
+          StrategyKind::kTitForTat,       StrategyKind::kTitForTwoTats,
+          StrategyKind::kGrimTrigger,     StrategyKind::kWinStayLoseShift,
+          StrategyKind::kRandom};
+}
+
+StrategyPlayer::StrategyPlayer(StrategyKind kind, double aspiration)
+    : kind_(kind), aspiration_(aspiration) {}
+
+Action StrategyPlayer::next_action(util::Rng& rng) const {
+  switch (kind_) {
+    case StrategyKind::kAllCooperate:
+      return Action::kCooperate;
+    case StrategyKind::kAllDefect:
+      return Action::kDefect;
+    case StrategyKind::kTitForTat:
+      return first_round_ ? Action::kCooperate : opponent_last_;
+    case StrategyKind::kTitForTwoTats:
+      return (!first_round_ && opponent_last_ == Action::kDefect &&
+              opponent_prev_ == Action::kDefect)
+                 ? Action::kDefect
+                 : Action::kCooperate;
+    case StrategyKind::kGrimTrigger:
+      return any_defection_ ? Action::kDefect : Action::kCooperate;
+    case StrategyKind::kWinStayLoseShift: {
+      if (first_round_) return Action::kCooperate;
+      const bool won = last_payoff_ >= aspiration_;
+      if (won) return own_last_;
+      return own_last_ == Action::kCooperate ? Action::kDefect
+                                             : Action::kCooperate;
+    }
+    case StrategyKind::kRandom:
+      return rng.chance(0.5) ? Action::kCooperate : Action::kDefect;
+  }
+  return Action::kCooperate;
+}
+
+void StrategyPlayer::observe(Action own, Action opponent, double payoff) {
+  opponent_prev_ = first_round_ ? opponent : opponent_last_;
+  opponent_last_ = opponent;
+  own_last_ = own;
+  last_payoff_ = payoff;
+  if (opponent == Action::kDefect) any_defection_ = true;
+  first_round_ = false;
+}
+
+namespace {
+
+Action maybe_flip(Action intended, double noise, util::Rng& rng) {
+  if (noise > 0.0 && rng.chance(noise)) {
+    return intended == Action::kCooperate ? Action::kDefect
+                                          : Action::kCooperate;
+  }
+  return intended;
+}
+
+}  // namespace
+
+MatchResult play_match(const BimatrixGame& game, StrategyKind fast_kind,
+                       StrategyKind slow_kind, const TournamentConfig& config,
+                       util::Rng& rng) {
+  StrategyPlayer fast(fast_kind, config.aspiration);
+  StrategyPlayer slow(slow_kind, config.aspiration);
+  MatchResult result;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const Action fast_action =
+        maybe_flip(fast.next_action(rng), config.noise, rng);
+    const Action slow_action =
+        maybe_flip(slow.next_action(rng), config.noise, rng);
+    const double fast_payoff =
+        game.payoff(Role::kFast, fast_action, slow_action);
+    const double slow_payoff =
+        game.payoff(Role::kSlow, fast_action, slow_action);
+    fast.observe(fast_action, slow_action, fast_payoff);
+    slow.observe(slow_action, fast_action, slow_payoff);
+    result.mean_payoff_fast += fast_payoff;
+    result.mean_payoff_slow += slow_payoff;
+    if (fast_action == Action::kCooperate) result.cooperation_rate_fast += 1.0;
+    if (slow_action == Action::kCooperate) result.cooperation_rate_slow += 1.0;
+  }
+  const auto rounds = static_cast<double>(config.rounds);
+  result.mean_payoff_fast /= rounds;
+  result.mean_payoff_slow /= rounds;
+  result.cooperation_rate_fast /= rounds;
+  result.cooperation_rate_slow /= rounds;
+  return result;
+}
+
+std::size_t TournamentResult::winner() const {
+  if (score.empty()) throw std::logic_error("TournamentResult: empty");
+  return static_cast<std::size_t>(
+      std::max_element(score.begin(), score.end()) - score.begin());
+}
+
+double TournamentResult::mean_payoff(std::size_t i, std::size_t j) const {
+  return 0.5 * (payoff_matrix.at(i).at(j) + slow_payoff_matrix.at(i).at(j));
+}
+
+std::vector<std::vector<double>> strategy_replicator(
+    const TournamentResult& tournament, std::vector<double> shares,
+    std::size_t steps) {
+  const std::size_t n = tournament.roster.size();
+  if (shares.size() != n) {
+    throw std::invalid_argument("strategy_replicator: share width mismatch");
+  }
+  double total = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) {
+      throw std::invalid_argument("strategy_replicator: negative share");
+    }
+    total += s;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("strategy_replicator: shares must sum to 1");
+  }
+
+  // Shift payoffs so fitness is non-negative (replicator dynamics are
+  // invariant under a common additive shift of the payoff matrix).
+  double min_payoff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      min_payoff = std::min(min_payoff, tournament.mean_payoff(i, j));
+    }
+  }
+  const double shift = -min_payoff + 1e-6;
+
+  std::vector<std::vector<double>> trajectory;
+  trajectory.push_back(shares);
+  std::vector<double> fitness(n, 0.0);
+  for (std::size_t step = 0; step < steps; ++step) {
+    double mean_fitness = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      fitness[i] = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        fitness[i] += shares[j] * (tournament.mean_payoff(i, j) + shift);
+      }
+      mean_fitness += shares[i] * fitness[i];
+    }
+    if (mean_fitness <= 0.0) {
+      trajectory.push_back(shares);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i] = shares[i] * fitness[i] / mean_fitness;
+    }
+    trajectory.push_back(shares);
+  }
+  return trajectory;
+}
+
+TournamentResult round_robin(const BimatrixGame& game,
+                             const std::vector<StrategyKind>& roster,
+                             const TournamentConfig& config) {
+  if (roster.empty() || config.rounds == 0 || config.repeats == 0) {
+    throw std::invalid_argument("round_robin: degenerate configuration");
+  }
+  const std::size_t n = roster.size();
+  TournamentResult result;
+  result.roster = roster;
+  result.score.assign(n, 0.0);
+  result.payoff_matrix.assign(n, std::vector<double>(n, 0.0));
+  result.slow_payoff_matrix.assign(n, std::vector<double>(n, 0.0));
+
+  util::Rng master(config.seed);
+  std::vector<std::size_t> matches(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double fast_total = 0.0;
+      double slow_total = 0.0;
+      for (std::size_t repeat = 0; repeat < config.repeats; ++repeat) {
+        util::Rng rng = master.derive(i, j, repeat);
+        const MatchResult match =
+            play_match(game, roster[i], roster[j], config, rng);
+        fast_total += match.mean_payoff_fast;
+        slow_total += match.mean_payoff_slow;
+      }
+      result.payoff_matrix[i][j] =
+          fast_total / static_cast<double>(config.repeats);
+      result.slow_payoff_matrix[j][i] =
+          slow_total / static_cast<double>(config.repeats);
+      // Both participants bank their side of the ordered match.
+      result.score[i] += fast_total / static_cast<double>(config.repeats);
+      result.score[j] += slow_total / static_cast<double>(config.repeats);
+      ++matches[i];
+      ++matches[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.score[i] /= static_cast<double>(matches[i]);
+  }
+  return result;
+}
+
+}  // namespace dsa::gametheory

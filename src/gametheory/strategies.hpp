@@ -1,0 +1,123 @@
+// Axelrod-style iterated-game strategies and round-robin tournaments — the
+// intellectual scaffolding behind the paper's Sec. 2 (BitTorrent as a
+// TFT-like strategy in iterated games) and Sec. 3 (DSA "taking inspiration
+// from Axelrod"). The tournament runs any BimatrixGame, so the classic
+// Prisoner's Dilemma results and the asymmetric BitTorrent Dilemma can be
+// compared side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gametheory/payoff.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::gametheory {
+
+/// The classic repeated-game strategies (Axelrod 1984; Posch 1999 for WSLS).
+enum class StrategyKind {
+  kAllCooperate,
+  kAllDefect,
+  kTitForTat,        // cooperate first, then mirror the opponent's last move
+  kTitForTwoTats,    // defect only after two consecutive opponent defections
+  kGrimTrigger,      // cooperate until the first defection, then defect forever
+  kWinStayLoseShift, // repeat your move after a good payoff, switch otherwise
+  kRandom,           // coin flip every round
+};
+
+std::string to_string(StrategyKind kind);
+
+/// All seven kinds, in enum order (convenient tournament roster).
+std::vector<StrategyKind> all_strategies();
+
+/// Per-match mutable state of one strategy instance.
+class StrategyPlayer {
+ public:
+  /// `aspiration` is WSLS's "win" threshold: a round counts as a win when
+  /// the own payoff is >= aspiration.
+  StrategyPlayer(StrategyKind kind, double aspiration);
+
+  /// Action for the next round. `rng` is only consulted by kRandom.
+  [[nodiscard]] Action next_action(util::Rng& rng) const;
+
+  /// Records the finished round (own action may differ from next_action()
+  /// under noise).
+  void observe(Action own, Action opponent, double payoff);
+
+  [[nodiscard]] StrategyKind kind() const noexcept { return kind_; }
+
+ private:
+  StrategyKind kind_;
+  double aspiration_;
+  Action opponent_last_ = Action::kCooperate;
+  Action opponent_prev_ = Action::kCooperate;
+  Action own_last_ = Action::kCooperate;
+  double last_payoff_ = 0.0;
+  bool any_defection_ = false;
+  bool first_round_ = true;
+};
+
+/// Outcome of one iterated match.
+struct MatchResult {
+  double mean_payoff_fast = 0.0;  // per-round averages
+  double mean_payoff_slow = 0.0;
+  double cooperation_rate_fast = 0.0;
+  double cooperation_rate_slow = 0.0;
+};
+
+/// Tournament controls.
+struct TournamentConfig {
+  std::size_t rounds = 200;
+  std::size_t repeats = 3;     // matches per ordered pair
+  double noise = 0.0;          // per-move flip probability
+  double aspiration = 0.0;     // WSLS win threshold ("payoff > 0 is a win")
+  std::uint64_t seed = 42;
+};
+
+/// Plays `fast_kind` (row role) vs `slow_kind` (column role) for
+/// config.rounds. Deterministic in the rng.
+MatchResult play_match(const BimatrixGame& game, StrategyKind fast_kind,
+                       StrategyKind slow_kind, const TournamentConfig& config,
+                       util::Rng& rng);
+
+/// Round-robin results over a roster.
+struct TournamentResult {
+  std::vector<StrategyKind> roster;
+  /// score[i] = mean per-round payoff of roster[i] over all its matches
+  /// (playing both roles against every roster member, including itself).
+  std::vector<double> score;
+  /// payoff_matrix[i][j] = roster[i]'s mean payoff when playing the fast
+  /// role against roster[j] in the slow role.
+  std::vector<std::vector<double>> payoff_matrix;
+  /// slow_payoff_matrix[i][j] = roster[i]'s mean payoff when playing the
+  /// SLOW role against roster[j] in the fast role.
+  std::vector<std::vector<double>> slow_payoff_matrix;
+
+  /// Index of the highest-scoring strategy.
+  [[nodiscard]] std::size_t winner() const;
+
+  /// Role-averaged payoff of roster[i] against roster[j]: the fitness used
+  /// by the replicator below (each encounter plays both roles).
+  [[nodiscard]] double mean_payoff(std::size_t i, std::size_t j) const;
+};
+
+/// Runs the full round-robin (every ordered pair, config.repeats times).
+/// Throws std::invalid_argument on an empty roster or zero rounds/repeats.
+TournamentResult round_robin(const BimatrixGame& game,
+                             const std::vector<StrategyKind>& roster,
+                             const TournamentConfig& config);
+
+/// Continuous (infinite-population) replicator dynamics on a tournament's
+/// role-averaged payoff matrix — the "evolution of cooperation" analysis:
+/// share'_i = share_i * fitness_i / mean_fitness, iterated `steps` times.
+/// Payoffs are shifted to be non-negative internally, so games with
+/// negative entries (the BitTorrent Dilemma) are handled. Returns the share
+/// trajectory (steps + 1 entries, starting with `initial`). Throws
+/// std::invalid_argument when `initial` mismatches the roster, has negative
+/// entries, or does not sum to ~1.
+std::vector<std::vector<double>> strategy_replicator(
+    const TournamentResult& tournament, std::vector<double> initial,
+    std::size_t steps);
+
+}  // namespace dsa::gametheory

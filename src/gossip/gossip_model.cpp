@@ -1,0 +1,210 @@
+#include "gossip/gossip_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dsa::gossip {
+
+core::DesignSpace gossip_space() {
+  core::DesignSpace space;
+  space.add_dimension("Selection", {"Random", "Best", "Loyal", "Similar"});
+  space.add_dimension("Periodicity", {"Fast", "Slow"});
+  space.add_dimension("Filtering", {"Newest", "Random"});
+  space.add_dimension("Reply", {"Respond", "Ignore", "DropAndIgnore"});
+  return space;
+}
+
+GossipModel::GossipModel(GossipConfig config)
+    : space_(gossip_space()), config_(config) {
+  if (config_.rounds == 0 || config_.batch == 0) {
+    throw std::invalid_argument("GossipModel: degenerate config");
+  }
+}
+
+std::uint32_t GossipModel::protocol_count() const {
+  return static_cast<std::uint32_t>(space_.size());
+}
+
+std::string GossipModel::protocol_name(std::uint32_t id) const {
+  return space_.describe(id);
+}
+
+namespace {
+
+std::size_t pick_random(util::Rng& rng, std::size_t n, std::size_t self) {
+  std::size_t j;
+  do {
+    j = rng.below(n);
+  } while (j == self);
+  return j;
+}
+
+/// Sends up to `batch` items from `from` to `to`; returns how many were
+/// actually news to the receiver. `known[i][p]` is the newest round-stamp
+/// of producer p's news known to peer i (-1 = unknown).
+double transfer(std::vector<std::vector<std::int64_t>>& known,
+                std::size_t from, std::size_t to, bool newest_first,
+                std::size_t batch, util::Rng& rng) {
+  const std::size_t n = known.size();
+  std::vector<std::size_t> producers;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (known[from][p] >= 0) producers.push_back(p);
+  }
+  if (newest_first) {
+    std::sort(producers.begin(), producers.end(),
+              [&](std::size_t a, std::size_t b) {
+                return known[from][a] > known[from][b];
+              });
+  } else {
+    rng.shuffle(producers);
+  }
+  double news = 0.0;
+  for (std::size_t idx = 0; idx < producers.size() && idx < batch; ++idx) {
+    const std::size_t p = producers[idx];
+    if (known[from][p] > known[to][p]) {
+      known[to][p] = known[from][p];
+      news += 1.0;
+    }
+  }
+  return news;
+}
+
+}  // namespace
+
+std::vector<double> GossipModel::simulate(
+    const std::vector<std::uint32_t>& protocols, std::uint64_t seed) const {
+  const std::size_t n = protocols.size();
+  if (n < 2) {
+    throw std::invalid_argument("GossipModel::simulate: need >= 2 peers");
+  }
+  std::vector<std::vector<std::size_t>> levels;
+  levels.reserve(n);
+  for (std::uint32_t id : protocols) {
+    levels.push_back(space_.decode(id));  // throws on bad ids
+  }
+
+  util::Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> known(
+      n, std::vector<std::int64_t>(n, -1));
+  std::vector<double> gained(n, 0.0);
+  std::vector<std::vector<double>> given(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<std::uint32_t>> streak(
+      n, std::vector<std::uint32_t>(n, 0));
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      known[i][i] = static_cast<std::int64_t>(round);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (levels[i][1] == kSlow && round % 2 == 1) continue;
+
+      // Selection function.
+      std::size_t partner = n;
+      switch (levels[i][0]) {
+        case kRandom:
+          partner = pick_random(rng, n, i);
+          break;
+        case kBest: {
+          double best = -1.0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j != i && given[i][j] > best) {
+              best = given[i][j];
+              partner = j;
+            }
+          }
+          if (best <= 0.0) partner = pick_random(rng, n, i);
+          break;
+        }
+        case kLoyal: {
+          std::uint32_t best = 0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j != i && streak[i][j] > best) {
+              best = streak[i][j];
+              partner = j;
+            }
+          }
+          if (best == 0) partner = pick_random(rng, n, i);
+          break;
+        }
+        case kSimilar: {
+          // Ring distance as the similarity proxy; random scan start
+          // breaks ties fairly.
+          std::size_t best_distance = n;
+          const std::size_t offset = rng.below(n);
+          for (std::size_t raw = 0; raw < n; ++raw) {
+            const std::size_t j = (raw + offset) % n;
+            if (j == i) continue;
+            const std::size_t d = std::min((i + n - j) % n, (j + n - i) % n);
+            if (d < best_distance) {
+              best_distance = d;
+              partner = j;
+            }
+          }
+          break;
+        }
+      }
+      if (partner >= n) continue;
+
+      const double pushed = transfer(known, i, partner,
+                                     levels[i][2] == kNewest, config_.batch,
+                                     rng);
+      gained[partner] += pushed;
+      given[partner][i] += pushed;
+
+      double replied = 0.0;
+      const std::size_t partner_reply = levels[partner][3];
+      if (partner_reply == kRespond) {
+        replied = transfer(known, partner, i, levels[partner][2] == kNewest,
+                           config_.batch, rng);
+        gained[i] += replied;
+        given[i][partner] += replied;
+      } else if (partner_reply == kDropAndIgnore) {
+        // Record maintenance "drop": discard everything just received
+        // (and everything else foreign) instead of storing it.
+        gained[partner] -= pushed;
+        for (std::size_t producer = 0; producer < n; ++producer) {
+          if (producer != partner) known[partner][producer] = -1;
+        }
+      }
+      streak[i][partner] = replied > 0.0 ? streak[i][partner] + 1 : 0;
+    }
+  }
+
+  std::vector<double> per_round(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    per_round[i] = gained[i] / static_cast<double>(config_.rounds);
+  }
+  return per_round;
+}
+
+double GossipModel::homogeneous_utility(std::uint32_t protocol,
+                                        std::size_t population,
+                                        std::uint64_t seed) const {
+  const std::vector<std::uint32_t> protocols(population, protocol);
+  const auto per_peer = simulate(protocols, seed);
+  double total = 0.0;
+  for (double v : per_peer) total += v;
+  return total / static_cast<double>(population);
+}
+
+std::pair<double, double> GossipModel::mixed_utilities(
+    std::uint32_t a, std::uint32_t b, std::size_t count_a,
+    std::size_t count_b, std::uint64_t seed) const {
+  std::vector<std::uint32_t> protocols;
+  protocols.reserve(count_a + count_b);
+  protocols.insert(protocols.end(), count_a, a);
+  protocols.insert(protocols.end(), count_b, b);
+  const auto per_peer = simulate(protocols, seed);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < count_a; ++i) sum_a += per_peer[i];
+  for (std::size_t i = count_a; i < per_peer.size(); ++i) {
+    sum_b += per_peer[i];
+  }
+  return {count_a ? sum_a / static_cast<double>(count_a) : 0.0,
+          count_b ? sum_b / static_cast<double>(count_b) : 0.0};
+}
+
+}  // namespace dsa::gossip

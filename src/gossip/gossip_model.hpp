@@ -1,0 +1,67 @@
+// A second actualization domain for DSA: the gossip-protocol design space
+// sketched in the paper's Sec. 3.1 ("Selection function for choosing
+// partners, Periodicity of data exchange, Filtering function, Record
+// maintenance policy"), actualized into 48 concrete protocols over a
+// miniature news-dissemination substrate.
+//
+// The substrate: every round each peer publishes a fresh news item about
+// itself; on its gossip tick it picks a partner per its Selection function
+// and pushes a filtered batch of known items; the partner reciprocates,
+// ignores, or drops per ITS Reply/record policy. A peer's utility is the
+// number of new items it learns per round.
+//
+// GossipModel implements core::EncounterModel, so the PRA engine, the ESS
+// quantifier, and the heuristic search all run on it unchanged — the point
+// of the exercise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_space.hpp"
+#include "core/model.hpp"
+
+namespace dsa::gossip {
+
+/// Dimension levels (indices into the DesignSpace's actualizations).
+enum Selection { kRandom = 0, kBest = 1, kLoyal = 2, kSimilar = 3 };
+enum Periodicity { kFast = 0, kSlow = 1 };
+enum Filtering { kNewest = 0, kRandomPick = 1 };
+enum Reply { kRespond = 0, kIgnore = 1, kDropAndIgnore = 2 };
+
+/// The actualized 4 x 2 x 2 x 3 = 48-protocol gossip design space.
+core::DesignSpace gossip_space();
+
+/// Simulation controls.
+struct GossipConfig {
+  std::size_t rounds = 120;
+  std::size_t batch = 5;  // items pushed per exchange
+};
+
+/// EncounterModel over the gossip space.
+class GossipModel final : public core::EncounterModel {
+ public:
+  explicit GossipModel(GossipConfig config = GossipConfig{});
+
+  [[nodiscard]] std::uint32_t protocol_count() const override;
+  [[nodiscard]] std::string protocol_name(std::uint32_t id) const override;
+
+  [[nodiscard]] double homogeneous_utility(std::uint32_t protocol,
+                                           std::size_t population,
+                                           std::uint64_t seed) const override;
+  [[nodiscard]] std::pair<double, double> mixed_utilities(
+      std::uint32_t a, std::uint32_t b, std::size_t count_a,
+      std::size_t count_b, std::uint64_t seed) const override;
+
+  /// Per-peer items-learned-per-round for an arbitrary mixed population
+  /// (protocols[i] = design-space id of peer i). Throws
+  /// std::invalid_argument for empty populations or bad ids.
+  [[nodiscard]] std::vector<double> simulate(
+      const std::vector<std::uint32_t>& protocols, std::uint64_t seed) const;
+
+ private:
+  core::DesignSpace space_;
+  GossipConfig config_;
+};
+
+}  // namespace dsa::gossip

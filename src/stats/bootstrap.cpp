@@ -1,0 +1,66 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::stats {
+
+namespace {
+
+Interval percentile_interval(std::vector<double>& estimates,
+                             double confidence) {
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  Interval interval;
+  interval.lower = percentile(estimates, alpha);
+  interval.upper = percentile(estimates, 1.0 - alpha);
+  return interval;
+}
+
+void check(std::span<const double> sample, double confidence,
+           std::size_t resamples) {
+  if (sample.empty()) {
+    throw std::invalid_argument("bootstrap: empty sample");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence outside (0, 1)");
+  }
+  if (resamples == 0) {
+    throw std::invalid_argument("bootstrap: resamples == 0");
+  }
+}
+
+}  // namespace
+
+Interval bootstrap_mean_ci(std::span<const double> sample, double confidence,
+                           std::size_t resamples, std::uint64_t seed) {
+  return bootstrap_statistic_ci(sample, &mean, confidence, resamples, seed);
+}
+
+Interval bootstrap_statistic_ci(std::span<const double> sample,
+                                double (*statistic)(std::span<const double>),
+                                double confidence, std::size_t resamples,
+                                std::uint64_t seed) {
+  check(sample, confidence, resamples);
+  if (statistic == nullptr) {
+    throw std::invalid_argument("bootstrap: null statistic");
+  }
+  util::Rng rng(seed);
+  const std::size_t n = sample.size();
+  std::vector<double> resample(n);
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = sample[rng.below(n)];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  return percentile_interval(estimates, confidence);
+}
+
+}  // namespace dsa::stats

@@ -1,0 +1,39 @@
+// Non-parametric bootstrap confidence intervals. The Fig. 9/10 benches
+// report normal-approximation CIs (as the paper does); the bootstrap is the
+// distribution-free alternative for the heavy-tailed quantities this domain
+// produces (download times, throughput with the Piatek tail).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dsa::stats {
+
+/// A two-sided confidence interval.
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+  [[nodiscard]] double width() const { return upper - lower; }
+};
+
+/// Percentile-bootstrap CI for the sample mean. Deterministic in `seed`.
+/// Throws std::invalid_argument for empty samples, confidence outside
+/// (0, 1), or resamples == 0.
+Interval bootstrap_mean_ci(std::span<const double> sample,
+                           double confidence = 0.95,
+                           std::size_t resamples = 2000,
+                           std::uint64_t seed = 1);
+
+/// Percentile-bootstrap CI for an arbitrary statistic supplied as a
+/// callable over a resampled vector. Same preconditions.
+Interval bootstrap_statistic_ci(std::span<const double> sample,
+                                double (*statistic)(std::span<const double>),
+                                double confidence = 0.95,
+                                std::size_t resamples = 2000,
+                                std::uint64_t seed = 1);
+
+}  // namespace dsa::stats

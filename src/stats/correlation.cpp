@@ -1,0 +1,70 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace dsa::stats {
+
+namespace {
+
+void check_paired(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("correlation: length mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("correlation: need at least 2 points");
+  }
+}
+
+/// Average ranks (1-based), ties share the mean of their rank range.
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  check_paired(xs, ys);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  check_paired(xs, ys);
+  const std::vector<double> rx = average_ranks(xs);
+  const std::vector<double> ry = average_ranks(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace dsa::stats

@@ -1,0 +1,20 @@
+// Correlation measures. The paper reports Pearson's correlation between
+// Robustness and Aggressiveness (rho ~= 0.96, Fig. 8) and between 50-50 and
+// 90-10 robustness scores (rho ~= 0.97, Sec. 4.3.2).
+#pragma once
+
+#include <span>
+
+namespace dsa::stats {
+
+/// Pearson product-moment correlation coefficient. Throws
+/// std::invalid_argument when the spans differ in length or have < 2
+/// elements; returns 0 when either sample is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over average ranks). Same
+/// preconditions as pearson(). Used in sanity checks where monotone
+/// association matters more than linearity.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace dsa::stats

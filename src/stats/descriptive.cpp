@@ -1,0 +1,76 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsa::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return sum_sq / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile: q outside [0, 1]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const std::size_t upper = std::min(lower + 1, sorted.size() - 1);
+  const double weight = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - weight) + sorted[upper] * weight;
+}
+
+std::vector<double> min_max_normalize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  const double lo = min_value(xs);
+  const double hi = max_value(xs);
+  const double range = hi - lo;
+  if (range <= 0.0) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - lo) / range;
+  return out;
+}
+
+std::vector<double> standardize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  const double m = mean(xs);
+  const double s = stddev(xs);
+  if (s <= 0.0) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / s;
+  return out;
+}
+
+double ci95_half_width(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+}  // namespace dsa::stats

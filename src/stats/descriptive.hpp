@@ -1,0 +1,41 @@
+// Descriptive statistics over samples of doubles: means, variances,
+// percentiles, min-max normalization, confidence intervals. These are the
+// primitives behind every PRA metric and the error bars of Figures 9 and 10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dsa::stats {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Population minimum / maximum; both 0 for an empty sample.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 1]. Throws std::invalid_argument
+/// on an empty sample or q outside [0, 1].
+double percentile(std::span<const double> xs, double q);
+
+/// Maps xs into [0, 1] by (x - min) / (max - min); all-equal samples map
+/// to 0. Used to normalize Performance over the design space.
+std::vector<double> min_max_normalize(std::span<const double> xs);
+
+/// Standardizes xs to zero mean, unit (sample) standard deviation; all-equal
+/// samples map to zeros. Used for Table 3's standardized regressors.
+std::vector<double> standardize(std::span<const double> xs);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// sample mean: 1.96 * s / sqrt(n); 0 for n < 2. The paper's Figures 9-10
+/// mark 95% confidence intervals over >= 10 runs.
+double ci95_half_width(std::span<const double> xs);
+
+}  // namespace dsa::stats

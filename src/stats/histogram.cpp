@@ -1,0 +1,122 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsa::stats {
+
+Histogram1D::Histogram1D(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram1D: bins == 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram1D: lo >= hi");
+}
+
+void Histogram1D::add(double value) {
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+void Histogram1D::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram1D::bin_lower(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram1D: bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram1D::bin_upper(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram1D: bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+std::size_t Histogram1D::bin_of(double value) const {
+  const double clamped = std::clamp(value, lo_, hi_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((clamped - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram1D::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+FrequencyGrid::FrequencyGrid(std::size_t rows, std::size_t columns)
+    : rows_(rows), columns_(columns), counts_(rows * columns, 0) {
+  if (rows == 0 || columns == 0) {
+    throw std::invalid_argument("FrequencyGrid: zero dimension");
+  }
+}
+
+void FrequencyGrid::add(double metric, std::size_t column) {
+  if (column >= columns_) throw std::out_of_range("FrequencyGrid: column");
+  const double clamped = std::clamp(metric, 0.0, 1.0);
+  auto row = static_cast<std::size_t>(clamped * static_cast<double>(rows_));
+  row = std::min(row, rows_ - 1);
+  ++counts_[row * columns_ + column];
+}
+
+std::size_t FrequencyGrid::count(std::size_t row, std::size_t column) const {
+  if (row >= rows_ || column >= columns_) {
+    throw std::out_of_range("FrequencyGrid: index");
+  }
+  return counts_[row * columns_ + column];
+}
+
+std::size_t FrequencyGrid::row_total(std::size_t row) const {
+  if (row >= rows_) throw std::out_of_range("FrequencyGrid: row");
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_; ++c) total += counts_[row * columns_ + c];
+  return total;
+}
+
+double FrequencyGrid::row_relative_frequency(std::size_t row,
+                                             std::size_t column) const {
+  const std::size_t total = row_total(row);
+  if (total == 0) return 0.0;
+  return static_cast<double>(count(row, column)) / static_cast<double>(total);
+}
+
+double FrequencyGrid::row_lower(std::size_t row) const {
+  if (row >= rows_) throw std::out_of_range("FrequencyGrid: row");
+  return static_cast<double>(row) / static_cast<double>(rows_);
+}
+
+double FrequencyGrid::row_upper(std::size_t row) const {
+  if (row >= rows_) throw std::out_of_range("FrequencyGrid: row");
+  return static_cast<double>(row + 1) / static_cast<double>(rows_);
+}
+
+Ccdf::Ccdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) throw std::invalid_argument("Ccdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ccdf::at(double x) const {
+  const auto first_above =
+      std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto above = static_cast<double>(sorted_.end() - first_above);
+  return above / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Ccdf::series(double lo, double hi,
+                                                    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1
+            ? lo
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+}  // namespace dsa::stats

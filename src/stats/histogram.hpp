@@ -1,0 +1,98 @@
+// Histograms and empirical distribution tools backing Figures 2-5:
+// - Histogram1D: marginal histograms of Performance / Robustness (Fig. 2).
+// - FrequencyGrid: the "darker squares" maps of Figures 3 and 4
+//   (metric interval x partner count, shaded by relative frequency).
+// - Ccdf: complementary CDF curves of Figure 5.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsa::stats {
+
+/// Fixed-width histogram over [lo, hi]; values outside are clamped into the
+/// boundary bins, matching how the paper buckets normalized [0,1] metrics.
+class Histogram1D {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or lo >= hi.
+  Histogram1D(std::size_t bins, double lo, double hi);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// [lower, upper) edges of a bin (last bin is closed above).
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+
+  /// Index of the bin holding `value` (after clamping).
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+  /// count(bin) / total, or 0 when empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// 2-D frequency grid: rows are metric intervals (e.g. Robustness deciles),
+/// columns are integer categories (e.g. partner count 0..9). Figures 3 and 4
+/// shade each row by within-row relative frequency; row_relative_frequency
+/// reproduces exactly that shading.
+class FrequencyGrid {
+ public:
+  /// Rows bucket `metric` into `rows` equal intervals of [0, 1]; columns are
+  /// integers in [0, columns). Throws std::invalid_argument on zero sizes.
+  FrequencyGrid(std::size_t rows, std::size_t columns);
+
+  /// Records one protocol with metric value in [0, 1] and category `column`.
+  /// Throws std::out_of_range for a column outside the grid.
+  void add(double metric, std::size_t column);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t count(std::size_t row, std::size_t column) const;
+  [[nodiscard]] std::size_t row_total(std::size_t row) const;
+
+  /// count / row_total, or 0 for an empty row — the darkness of a square.
+  [[nodiscard]] double row_relative_frequency(std::size_t row,
+                                              std::size_t column) const;
+
+  /// [lower, upper) metric interval covered by a row.
+  [[nodiscard]] double row_lower(std::size_t row) const;
+  [[nodiscard]] double row_upper(std::size_t row) const;
+
+ private:
+  std::size_t rows_, columns_;
+  std::vector<std::size_t> counts_;  // row-major
+};
+
+/// Empirical complementary CDF: P(X > x) evaluated at sorted sample points.
+class Ccdf {
+ public:
+  /// Builds from a sample; throws std::invalid_argument when empty.
+  explicit Ccdf(std::span<const double> sample);
+
+  /// P(X > x) under the empirical distribution.
+  [[nodiscard]] double at(double x) const;
+
+  /// Evaluates the CCDF at `points` evenly spaced x values across [lo, hi],
+  /// returning (x, P(X > x)) pairs — one plottable series of Figure 5.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      double lo, double hi, std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace dsa::stats

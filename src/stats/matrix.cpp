@@ -1,0 +1,131 @@
+#include "stats/matrix.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace dsa::stats {
+
+namespace {
+constexpr double kPivotEpsilon = 1e-12;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged input");
+    }
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double lhs_rk = at(r, k);
+      if (lhs_rk == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) += lhs_rk * rhs.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::solve(std::span<const double> b) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::solve: matrix not square");
+  }
+  if (b.size() != rows_) {
+    throw std::invalid_argument("Matrix::solve: rhs size mismatch");
+  }
+  const std::size_t n = rows_;
+  // Augmented working copies.
+  std::vector<double> a(data_);
+  std::vector<double> x(b.begin(), b.end());
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * n + col]) < kPivotEpsilon) {
+      throw std::runtime_error("Matrix::solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(x[col], x[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      x[r] -= factor * x[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a[i * n + c] * x[c];
+    x[i] = sum / a[i * n + i];
+  }
+  return x;
+}
+
+Matrix Matrix::inverted() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::inverted: matrix not square");
+  }
+  const std::size_t n = rows_;
+  Matrix inverse(n, n);
+  // Solve column by column against unit vectors; n is tiny here.
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    unit.assign(n, 0.0);
+    unit[c] = 1.0;
+    const std::vector<double> column = solve(unit);
+    for (std::size_t r = 0; r < n; ++r) inverse.at(r, c) = column[r];
+  }
+  return inverse;
+}
+
+}  // namespace dsa::stats

@@ -1,0 +1,53 @@
+// Small dense row-major matrix with just the linear algebra OLS needs:
+// products, transpose, and a partial-pivot Gaussian solver / inverse.
+// Design-space regressions are tiny (13 coefficients), so clarity beats
+// cleverness here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsa::stats {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer-style data; throws std::invalid_argument
+  /// on ragged input.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix product; throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Solves (*this) * x = b for square *this via Gaussian elimination with
+  /// partial pivoting. Throws std::invalid_argument on shape mismatch and
+  /// std::runtime_error when singular (pivot below 1e-12).
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Inverse of a square matrix; same error conditions as solve().
+  [[nodiscard]] Matrix inverted() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dsa::stats

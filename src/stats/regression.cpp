@@ -1,0 +1,125 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsa::stats {
+
+double two_sided_normal_p(double z) {
+  // 2 * (1 - Phi(|z|)) = erfc(|z| / sqrt(2)).
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+double OlsFit::predict(std::span<const double> regressors) const {
+  const std::size_t offset = has_intercept_ ? 1 : 0;
+  if (regressors.size() + offset != coefficients.size()) {
+    throw std::invalid_argument("OlsFit::predict: width mismatch");
+  }
+  double y = has_intercept_ ? coefficients.front().estimate : 0.0;
+  for (std::size_t i = 0; i < regressors.size(); ++i) {
+    y += coefficients[i + offset].estimate * regressors[i];
+  }
+  return y;
+}
+
+const Coefficient& OlsFit::coefficient(const std::string& name) const {
+  for (const auto& c : coefficients) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("OlsFit: no coefficient named '" + name + "'");
+}
+
+OlsModel::OlsModel(std::vector<std::string> regressor_names,
+                   bool include_intercept)
+    : names_(std::move(regressor_names)), intercept_(include_intercept) {}
+
+void OlsModel::add(std::span<const double> regressors, double response) {
+  if (regressors.size() != names_.size()) {
+    throw std::invalid_argument("OlsModel::add: width mismatch");
+  }
+  rows_.emplace_back(regressors.begin(), regressors.end());
+  responses_.push_back(response);
+}
+
+OlsFit OlsModel::fit() const {
+  const std::size_t n = responses_.size();
+  const std::size_t p = names_.size() + (intercept_ ? 1 : 0);
+  if (n <= p) {
+    throw std::runtime_error("OlsModel::fit: need more observations (" +
+                             std::to_string(n) + ") than parameters (" +
+                             std::to_string(p) + ")");
+  }
+
+  // Design matrix with optional leading intercept column.
+  Matrix x(n, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t c = 0;
+    if (intercept_) x.at(r, c++) = 1.0;
+    for (double value : rows_[r]) x.at(r, c++) = value;
+  }
+
+  const Matrix xt = x.transposed();
+  const Matrix xtx = xt * x;
+
+  // X^T y
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t c = 0; c < p; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) sum += x.at(r, c) * responses_[r];
+    xty[c] = sum;
+  }
+
+  std::vector<double> beta;
+  Matrix xtx_inverse;
+  try {
+    beta = xtx.solve(xty);
+    xtx_inverse = xtx.inverted();
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error(
+        "OlsModel::fit: design matrix is rank deficient (collinear "
+        "regressors)");
+  }
+
+  // Residual sum of squares and total sum of squares.
+  double rss = 0.0;
+  double response_mean = 0.0;
+  for (double y : responses_) response_mean += y;
+  response_mean /= static_cast<double>(n);
+  double tss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double fitted = 0.0;
+    for (std::size_t c = 0; c < p; ++c) fitted += x.at(r, c) * beta[c];
+    const double residual = responses_[r] - fitted;
+    rss += residual * residual;
+    const double centered = responses_[r] - response_mean;
+    tss += centered * centered;
+  }
+
+  const double dof = static_cast<double>(n - p);
+  const double sigma2 = rss / dof;
+
+  OlsFit result;
+  result.has_intercept_ = intercept_;
+  result.observations = n;
+  result.residual_std_error = std::sqrt(sigma2);
+  result.r_squared = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+  const double predictors = static_cast<double>(p - (intercept_ ? 1 : 0));
+  result.adjusted_r_squared =
+      1.0 - (1.0 - result.r_squared) * static_cast<double>(n - 1) /
+                (static_cast<double>(n) - predictors - 1.0);
+
+  result.coefficients.reserve(p);
+  for (std::size_t c = 0; c < p; ++c) {
+    Coefficient coef;
+    coef.name = (intercept_ && c == 0) ? "(intercept)"
+                                       : names_[c - (intercept_ ? 1 : 0)];
+    coef.estimate = beta[c];
+    coef.std_error = std::sqrt(sigma2 * xtx_inverse.at(c, c));
+    coef.t_value = coef.std_error > 0.0 ? coef.estimate / coef.std_error : 0.0;
+    coef.p_value = two_sided_normal_p(coef.t_value);
+    result.coefficients.push_back(std::move(coef));
+  }
+  return result;
+}
+
+}  // namespace dsa::stats

@@ -1,0 +1,81 @@
+// Ordinary-least-squares multiple linear regression with the inference
+// outputs Table 3 reports: coefficient estimates, standard errors, t values,
+// a significance flag at the 0.001 level, and adjusted R^2. The design-space
+// regressions have n ~= 3270 observations, so the normal approximation to the
+// t distribution used for p-values is exact for practical purposes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace dsa::stats {
+
+/// One fitted coefficient with its inference statistics.
+struct Coefficient {
+  std::string name;
+  double estimate = 0.0;
+  double std_error = 0.0;
+  double t_value = 0.0;
+  double p_value = 1.0;
+
+  /// Table 3 marks significance as 'OK' when p < 0.001.
+  [[nodiscard]] bool significant_at(double alpha = 0.001) const {
+    return p_value < alpha;
+  }
+};
+
+/// A fitted OLS model.
+struct OlsFit {
+  std::vector<Coefficient> coefficients;  // intercept first when requested
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  double residual_std_error = 0.0;
+  std::size_t observations = 0;
+
+  /// Predicted response for one regressor row (without intercept column;
+  /// the intercept is applied automatically when the fit includes one).
+  [[nodiscard]] double predict(std::span<const double> regressors) const;
+
+  [[nodiscard]] const Coefficient& coefficient(const std::string& name) const;
+
+ private:
+  friend class OlsModel;
+  bool has_intercept_ = false;
+};
+
+/// Builder for an OLS regression: name the regressors, feed observations,
+/// fit.
+class OlsModel {
+ public:
+  /// `regressor_names` excludes the intercept; pass include_intercept=false
+  /// for regression through the origin.
+  explicit OlsModel(std::vector<std::string> regressor_names,
+                    bool include_intercept = true);
+
+  /// Adds one observation; throws std::invalid_argument on width mismatch.
+  void add(std::span<const double> regressors, double response);
+
+  [[nodiscard]] std::size_t observation_count() const noexcept {
+    return responses_.size();
+  }
+
+  /// Fits by solving the normal equations. Throws std::runtime_error when
+  /// there are fewer observations than parameters or the design matrix is
+  /// rank deficient (collinear dummies).
+  [[nodiscard]] OlsFit fit() const;
+
+ private:
+  std::vector<std::string> names_;
+  bool intercept_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> responses_;
+};
+
+/// Two-sided p-value for a z/t statistic under the standard normal
+/// distribution: 2 * (1 - Phi(|z|)).
+double two_sided_normal_p(double z);
+
+}  // namespace dsa::stats

@@ -1,0 +1,32 @@
+// Client protocol variants evaluated in the paper's validation (Sec. 5),
+// standing in for the modified instrumented BitTorrent client.
+#pragma once
+
+#include <string>
+
+namespace dsa::swarm {
+
+/// The five clients of Figures 9 and 10.
+enum class ClientVariant {
+  /// Reference BitTorrent: rank interested peers by bytes they uploaded to
+  /// us in the last rechoke period (fastest first); rotating optimistic
+  /// unchoke.
+  kBitTorrent,
+  /// Birds (Sec. 2.3): rank by proximity of the peer's upload capacity to
+  /// our own; otherwise BitTorrent-like.
+  kBirds,
+  /// Loyal-When-needed (Sec. 5): rank by length of uninterrupted
+  /// cooperation; the optimistic slot only opens while regular slots are
+  /// short of cooperating partners (the When-needed stranger policy).
+  kLoyalWhenNeeded,
+  /// Sort-S (Sec. 4.4): rank slowest-first, single regular slot, never
+  /// optimistically unchoke (Defect stranger policy).
+  kSortSlowest,
+  /// Random ranking (Fig. 10's "Random"): uniform choice among interested
+  /// peers.
+  kRandomRank,
+};
+
+std::string to_string(ClientVariant variant);
+
+}  // namespace dsa::swarm

@@ -1,0 +1,517 @@
+#include "swarm/swarm_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "swarming/bandwidth.hpp"
+#include "util/rng.hpp"
+
+namespace dsa::swarm {
+
+std::string to_string(ClientVariant variant) {
+  switch (variant) {
+    case ClientVariant::kBitTorrent: return "BitTorrent";
+    case ClientVariant::kBirds: return "Birds";
+    case ClientVariant::kLoyalWhenNeeded: return "Loyal-When-needed";
+    case ClientVariant::kSortSlowest: return "Sort-S";
+    case ClientVariant::kRandomRank: return "Random";
+  }
+  return "?";
+}
+
+double SwarmResult::group_mean_time(std::size_t begin, std::size_t end,
+                                    double cap_seconds) const {
+  if (begin >= end || end > completion_time.size()) {
+    throw std::invalid_argument("SwarmResult::group_mean_time: bad range");
+  }
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += completion_time[i] >= 0.0 ? completion_time[i] : cap_seconds;
+  }
+  return sum / static_cast<double>(end - begin);
+}
+
+namespace {
+
+constexpr std::int32_t kNoPiece = -1;
+constexpr std::int32_t kNoPeer = -1;
+
+/// Full mutable state of one swarm run. Peer 0 is the seeder; leecher l of
+/// the input sits at index l + 1.
+class SwarmEngine {
+ public:
+  SwarmEngine(const std::vector<ClientVariant>& leechers,
+              const std::vector<double>& capacities,
+              const SwarmConfig& config)
+      : config_(config),
+        n_(leechers.size() + 1),
+        pieces_(config.piece_count),
+        rng_(config.seed),
+        variant_(n_, ClientVariant::kBitTorrent),
+        capacity_(n_, config.seeder_capacity_kbps),
+        have_(n_ * pieces_, 0),
+        have_count_(n_, 0),
+        active_(n_, 1),
+        completion_tick_(n_, -1),
+        availability_(pieces_, 1),  // the seeder has everything
+        claimed_(n_ * pieces_, 0),
+        piece_from_(n_ * n_, kNoPiece),
+        bytes_done_(n_ * pieces_, 0.0),
+        recv_cur_(n_ * n_, 0.0),
+        recv_prev_(n_ * n_, 0.0),
+        streak_(n_ * n_, 0),
+        unchoked_(n_),
+        optimistic_(n_, kNoPeer),
+        rechokes_since_rotation_(n_, 0),
+        tie_priority_(n_, 0),
+        arrival_tick_(n_, 0),
+        uploaded_(n_, 0.0),
+        downloaded_(n_, 0.0) {
+    for (std::size_t l = 0; l < leechers.size(); ++l) {
+      variant_[l + 1] = leechers[l];
+      capacity_[l + 1] = capacities[l];
+      if (config.arrival_interval > 0) {
+        arrival_tick_[l + 1] =
+            static_cast<std::int64_t>(l * config.arrival_interval);
+        if (arrival_tick_[l + 1] > 0) active_[l + 1] = 0;
+      }
+    }
+    // Seeder starts complete.
+    for (std::size_t p = 0; p < pieces_; ++p) have_[p] = 1;
+    have_count_[0] = pieces_;
+    completion_tick_[0] = 0;
+  }
+
+  SwarmResult run() {
+    SwarmResult result;
+    std::size_t tick = 0;
+    for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
+      process_arrivals(tick);
+      if (tick % config_.rechoke_interval == 0) rechoke();
+      tick_transferred_ = 0.0;
+      transfer(tick);
+      process_departures();
+      if (config_.record_series) {
+        result.series.push_back(snapshot());
+      }
+    }
+    result.completion_time.resize(n_ - 1);
+    result.uploaded_kb.resize(n_ - 1);
+    result.downloaded_kb.resize(n_ - 1);
+    result.all_completed = true;
+    for (std::size_t l = 0; l + 1 < n_; ++l) {
+      const std::int64_t t = completion_tick_[l + 1];
+      result.completion_time[l] =
+          t >= 0 ? static_cast<double>(t - arrival_tick_[l + 1]) : -1.0;
+      if (t < 0) result.all_completed = false;
+      result.uploaded_kb[l] = uploaded_[l + 1];
+      result.downloaded_kb[l] = downloaded_[l + 1];
+    }
+    return result;
+  }
+
+ private:
+  void process_arrivals(std::size_t tick) {
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (!active_[i] && have_count_[i] < pieces_ &&
+          static_cast<std::int64_t>(tick) >= arrival_tick_[i]) {
+        active_[i] = 1;
+      }
+    }
+  }
+
+  [[nodiscard]] SwarmTick snapshot() const {
+    SwarmTick snap;
+    double progress = 0.0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (is_complete(i)) {
+        ++snap.completed_leechers;
+      } else if (active_[i]) {
+        ++snap.active_leechers;
+      }
+      progress += static_cast<double>(have_count_[i]) /
+                  static_cast<double>(pieces_);
+    }
+    snap.mean_progress = progress / static_cast<double>(n_ - 1);
+    snap.transferred_kb = tick_transferred_;
+    return snap;
+  }
+
+  /// Leechers that have not completed yet (arrived or still to arrive).
+  [[nodiscard]] std::size_t incomplete_leechers() const {
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (have_count_[i] < pieces_) ++count;
+    }
+    return count;
+  }
+
+  [[nodiscard]] bool is_complete(std::size_t i) const {
+    return have_count_[i] == pieces_;
+  }
+
+  /// j wants data at all (and i has at least one piece). The exact
+  /// "i has something j lacks" check happens at piece assignment; a lane
+  /// that cannot be fed simply idles.
+  [[nodiscard]] bool interested_in(std::size_t i, std::size_t j) const {
+    return j != i && active_[j] && !is_complete(j) && have_count_[i] > 0;
+  }
+
+  // --- choke rounds ------------------------------------------------------
+
+  void rechoke() {
+    // Fresh random ranking tie-breaks each choke round; a fixed order would
+    // funnel every all-zero-tied choice onto the same peers.
+    for (auto& priority : tie_priority_) {
+      priority = static_cast<std::uint32_t>(rng_());
+    }
+    // Window roll + loyalty streak update (one choke period granularity).
+    recv_prev_.swap(recv_cur_);
+    std::fill(recv_cur_.begin(), recv_cur_.end(), 0.0);
+    for (std::size_t idx = 0; idx < n_ * n_; ++idx) {
+      streak_[idx] = recv_prev_[idx] > 0.0 ? streak_[idx] + 1 : 0;
+    }
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!active_[i]) continue;
+      if (i == 0) {
+        rechoke_seeder();
+      } else if (!is_complete(i)) {
+        rechoke_leecher(i);
+      }
+    }
+
+    // Release in-flight assignments on pairs that are no longer unchoked so
+    // a choked-off piece can be re-claimed from another sender.
+    for (std::size_t sender = 0; sender < n_; ++sender) {
+      for (std::size_t receiver = 0; receiver < n_; ++receiver) {
+        const std::int32_t piece = piece_from_[receiver * n_ + sender];
+        if (piece == kNoPiece) continue;
+        if (!is_unchoked(sender, receiver)) {
+          release_assignment(receiver, sender);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_unchoked(std::size_t sender,
+                                 std::size_t receiver) const {
+    if (optimistic_[sender] == static_cast<std::int32_t>(receiver)) {
+      return true;
+    }
+    const auto& list = unchoked_[sender];
+    return std::find(list.begin(), list.end(),
+                     static_cast<std::uint32_t>(receiver)) != list.end();
+  }
+
+  void release_assignment(std::size_t receiver, std::size_t sender) {
+    const std::int32_t piece = piece_from_[receiver * n_ + sender];
+    if (piece == kNoPiece) return;
+    // Progress on the piece persists (block-level download, as in BT):
+    // another sender can pick it up and continue where this one stopped.
+    claimed_[receiver * pieces_ + static_cast<std::size_t>(piece)] = 0;
+    piece_from_[receiver * n_ + sender] = kNoPiece;
+  }
+
+  void rechoke_seeder() {
+    // Uniform round-robin over interested leechers (the paper's seeder
+    // assumption, after Chow et al.).
+    unchoked_[0].clear();
+    if (n_ <= 1) return;
+    std::size_t scanned = 0;
+    while (unchoked_[0].size() < config_.seeder_slots && scanned < n_ - 1) {
+      seeder_rr_ = seeder_rr_ % (n_ - 1) + 1;  // cycles 1..n-1
+      ++scanned;
+      if (interested_in(0, seeder_rr_)) {
+        unchoked_[0].push_back(static_cast<std::uint32_t>(seeder_rr_));
+      }
+    }
+  }
+
+  void rechoke_leecher(std::size_t i) {
+    candidates_.clear();
+    for (std::size_t j = 1; j < n_; ++j) {
+      if (interested_in(i, j)) {
+        candidates_.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+
+    const ClientVariant variant = variant_[i];
+    const std::size_t slots = variant == ClientVariant::kSortSlowest
+                                  ? 1
+                                  : config_.regular_slots;
+    const std::size_t picked = std::min(slots, candidates_.size());
+    rank_candidates(i, variant, picked);
+    unchoked_[i].assign(candidates_.begin(), candidates_.begin() + picked);
+
+    update_optimistic(i, variant, slots);
+  }
+
+  void rank_candidates(std::size_t i, ClientVariant variant,
+                       std::size_t top) {
+    if (top == 0) return;
+    auto by_key = [&](auto key, bool descending) {
+      std::partial_sort(candidates_.begin(), candidates_.begin() + top,
+                        candidates_.end(),
+                        [&, descending](std::uint32_t a, std::uint32_t b) {
+                          const double ka = key(a);
+                          const double kb = key(b);
+                          if (ka != kb) return descending ? ka > kb : ka < kb;
+                          if (tie_priority_[a] != tie_priority_[b]) {
+                            return tie_priority_[a] < tie_priority_[b];
+                          }
+                          return a < b;
+                        });
+    };
+    switch (variant) {
+      case ClientVariant::kBitTorrent:
+        by_key([&](std::uint32_t j) { return recv_prev_[i * n_ + j]; }, true);
+        break;
+      case ClientVariant::kSortSlowest:
+        by_key([&](std::uint32_t j) { return recv_prev_[i * n_ + j]; }, false);
+        break;
+      case ClientVariant::kBirds:
+        by_key(
+            [&](std::uint32_t j) {
+              return std::fabs(capacity_[j] - capacity_[i]);
+            },
+            false);
+        break;
+      case ClientVariant::kLoyalWhenNeeded:
+        by_key(
+            [&](std::uint32_t j) {
+              return static_cast<double>(streak_[i * n_ + j]);
+            },
+            true);
+        break;
+      case ClientVariant::kRandomRank:
+        for (std::size_t s = 0; s < top; ++s) {
+          const std::size_t j =
+              s + static_cast<std::size_t>(rng_.below(candidates_.size() - s));
+          std::swap(candidates_[s], candidates_[j]);
+        }
+        break;
+    }
+  }
+
+  void update_optimistic(std::size_t i, ClientVariant variant,
+                         std::size_t slots) {
+    // Sort-S defects on strangers: never an optimistic slot.
+    if (variant == ClientVariant::kSortSlowest) {
+      optimistic_[i] = kNoPeer;
+      return;
+    }
+    // Loyal-When-needed only opens the stranger slot while it lacks
+    // established (positive-streak) partners.
+    if (variant == ClientVariant::kLoyalWhenNeeded) {
+      std::size_t established = 0;
+      for (std::uint32_t j : unchoked_[i]) {
+        if (streak_[i * n_ + j] > 0) ++established;
+      }
+      if (established >= slots) {
+        optimistic_[i] = kNoPeer;
+        return;
+      }
+    }
+
+    const std::int32_t current = optimistic_[i];
+    const bool current_valid =
+        current != kNoPeer &&
+        interested_in(i, static_cast<std::size_t>(current)) &&
+        std::find(unchoked_[i].begin(), unchoked_[i].end(),
+                  static_cast<std::uint32_t>(current)) == unchoked_[i].end();
+    const bool due_for_rotation =
+        ++rechokes_since_rotation_[i] >= config_.optimistic_period;
+    if (current_valid && !due_for_rotation) return;
+
+    rechokes_since_rotation_[i] = 0;
+    // Candidates for the optimistic slot: interested peers outside the
+    // regular set.
+    scratch_.clear();
+    for (std::uint32_t j : candidates_) {
+      if (std::find(unchoked_[i].begin(), unchoked_[i].end(), j) ==
+          unchoked_[i].end()) {
+        scratch_.push_back(j);
+      }
+    }
+    optimistic_[i] =
+        scratch_.empty()
+            ? kNoPeer
+            : static_cast<std::int32_t>(
+                  scratch_[static_cast<std::size_t>(rng_.below(scratch_.size()))]);
+  }
+
+  // --- transfers ----------------------------------------------------------
+
+  void transfer(std::size_t tick) {
+    for (std::size_t sender = 0; sender < n_; ++sender) {
+      if (!active_[sender] || have_count_[sender] == 0) continue;
+
+      // Feedable targets: unchoked, active, and with an assignable piece.
+      targets_.clear();
+      auto consider = [&](std::size_t receiver) {
+        if (!active_[receiver] || is_complete(receiver)) return;
+        if (ensure_assignment(receiver, sender)) {
+          targets_.push_back(static_cast<std::uint32_t>(receiver));
+        }
+      };
+      for (std::uint32_t receiver : unchoked_[sender]) consider(receiver);
+      if (optimistic_[sender] != kNoPeer) {
+        consider(static_cast<std::size_t>(optimistic_[sender]));
+      }
+      if (targets_.empty()) continue;
+
+      const double rate =
+          capacity_[sender] / static_cast<double>(targets_.size());
+      for (std::uint32_t receiver : targets_) {
+        deliver(sender, receiver, rate, tick);
+      }
+    }
+  }
+
+  /// Guarantees an in-flight piece from sender to receiver, choosing the
+  /// rarest assignable piece (random tie-break). Returns false when nothing
+  /// is assignable.
+  bool ensure_assignment(std::size_t receiver, std::size_t sender) {
+    if (piece_from_[receiver * n_ + sender] != kNoPiece) return true;
+    std::size_t best = pieces_;
+    std::uint32_t best_availability = 0;
+    std::size_t tie_count = 0;
+    const std::size_t offset = static_cast<std::size_t>(rng_.below(pieces_));
+    for (std::size_t raw = 0; raw < pieces_; ++raw) {
+      const std::size_t p = (raw + offset) % pieces_;
+      if (!have_[sender * pieces_ + p] || have_[receiver * pieces_ + p] ||
+          claimed_[receiver * pieces_ + p]) {
+        continue;
+      }
+      if (best == pieces_ || availability_[p] < best_availability) {
+        best = p;
+        best_availability = availability_[p];
+        tie_count = 1;
+      }
+    }
+    if (best == pieces_) return false;
+    (void)tie_count;
+    claimed_[receiver * pieces_ + best] = 1;
+    piece_from_[receiver * n_ + sender] = static_cast<std::int32_t>(best);
+    return true;
+  }
+
+  void deliver(std::size_t sender, std::size_t receiver, double rate_kbps,
+               std::size_t tick) {
+    uploaded_[sender] += rate_kbps;
+    downloaded_[receiver] += rate_kbps;
+    tick_transferred_ += rate_kbps;
+    recv_cur_[receiver * n_ + sender] += rate_kbps;
+    const auto piece =
+        static_cast<std::size_t>(piece_from_[receiver * n_ + sender]);
+    double& done = bytes_done_[receiver * pieces_ + piece];
+    done += rate_kbps;  // one tick = one second
+    if (done + 1e-9 < config_.piece_size_kb) return;
+
+    have_[receiver * pieces_ + piece] = 1;
+    ++have_count_[receiver];
+    ++availability_[piece];
+    piece_from_[receiver * n_ + sender] = kNoPiece;
+    done = 0.0;
+
+    if (is_complete(receiver)) {
+      completion_tick_[receiver] = static_cast<std::int64_t>(tick) + 1;
+      departing_.push_back(static_cast<std::uint32_t>(receiver));
+    }
+  }
+
+  void process_departures() {
+    for (std::uint32_t peer : departing_) {
+      active_[peer] = 0;
+      // Its pieces leave the swarm.
+      for (std::size_t p = 0; p < pieces_; ++p) {
+        if (have_[peer * pieces_ + p]) --availability_[p];
+      }
+      // Free pieces other peers were downloading from it.
+      for (std::size_t receiver = 0; receiver < n_; ++receiver) {
+        release_assignment(receiver, peer);
+      }
+      unchoked_[peer].clear();
+      optimistic_[peer] = kNoPeer;
+    }
+    departing_.clear();
+  }
+
+  const SwarmConfig& config_;
+  const std::size_t n_;
+  const std::size_t pieces_;
+  util::Rng rng_;
+
+  std::vector<ClientVariant> variant_;
+  std::vector<double> capacity_;
+  std::vector<std::uint8_t> have_;          // [peer * pieces + p]
+  std::vector<std::size_t> have_count_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::int64_t> completion_tick_;
+  std::vector<std::uint32_t> availability_;  // active holders per piece
+  std::vector<std::uint8_t> claimed_;        // [receiver * pieces + p]
+  std::vector<std::int32_t> piece_from_;     // [receiver * n + sender]
+  std::vector<double> bytes_done_;           // [receiver * pieces + p], KB
+  std::vector<double> recv_cur_, recv_prev_;  // [receiver * n + sender], KB
+  std::vector<std::uint32_t> streak_;        // choke periods of cooperation
+  std::vector<std::vector<std::uint32_t>> unchoked_;
+  std::vector<std::int32_t> optimistic_;
+  std::vector<std::size_t> rechokes_since_rotation_;
+  std::vector<std::uint32_t> tie_priority_;
+  std::vector<std::int64_t> arrival_tick_;
+  std::vector<double> uploaded_, downloaded_;
+  double tick_transferred_ = 0.0;
+  std::size_t seeder_rr_ = 0;
+
+  // Scratch.
+  std::vector<std::uint32_t> candidates_;
+  std::vector<std::uint32_t> scratch_;
+  std::vector<std::uint32_t> targets_;
+  std::vector<std::uint32_t> departing_;
+};
+
+}  // namespace
+
+SwarmResult run_swarm(const std::vector<ClientVariant>& leechers,
+                      const std::vector<double>& capacities,
+                      const SwarmConfig& config) {
+  if (leechers.empty() || leechers.size() != capacities.size()) {
+    throw std::invalid_argument(
+        "run_swarm: leechers/capacities must be equal-length and non-empty");
+  }
+  for (double c : capacities) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument("run_swarm: capacities must be positive");
+    }
+  }
+  if (config.piece_count == 0 || config.piece_size_kb <= 0.0 ||
+      config.rechoke_interval == 0 || config.optimistic_period == 0 ||
+      config.regular_slots == 0 || config.seeder_slots == 0) {
+    throw std::invalid_argument("run_swarm: degenerate configuration");
+  }
+  SwarmEngine engine(leechers, capacities, config);
+  return engine.run();
+}
+
+SwarmResult run_mixed_swarm(ClientVariant a, ClientVariant b,
+                            std::size_t count_a, std::size_t total,
+                            const SwarmConfig& config) {
+  if (total == 0 || count_a > total) {
+    throw std::invalid_argument("run_mixed_swarm: bad group sizes");
+  }
+  std::vector<ClientVariant> leechers;
+  leechers.reserve(total);
+  leechers.insert(leechers.end(), count_a, a);
+  leechers.insert(leechers.end(), total - count_a, b);
+
+  std::vector<double> capacities =
+      swarming::BandwidthDistribution::piatek().stratified_sample(total);
+  util::Rng rng(util::hash64(config.seed ^ 0x5b8f9a3c2d1e4f07ULL));
+  rng.shuffle(capacities);
+
+  return run_swarm(leechers, capacities, config);
+}
+
+}  // namespace dsa::swarm

@@ -1,0 +1,96 @@
+// Discrete-time piece-level BitTorrent swarm simulator — the validation
+// substrate of Sec. 5, replacing the authors' instrumented client + cluster.
+//
+// Mechanics modeled:
+//  * one seeder (128 KBps in the paper's setup) that stays for the whole
+//    experiment and unchokes interested leechers round-robin (uniform
+//    interaction, as the paper assumes of seeders);
+//  * leechers with heterogeneous upload capacities (Piatek et al.
+//    distribution), downloading a fixed-size file split into pieces;
+//  * choke rounds every `rechoke_interval` ticks: each leecher ranks the
+//    interested peers per its ClientVariant and unchokes the top
+//    `regular_slots`; an optimistic slot rotates every `optimistic_period`
+//    choke rounds (policy varies per variant, see client.hpp);
+//  * per-tick transfers: a peer's capacity splits equally across the
+//    unchoked peers that are actively downloading from it; receivers pick
+//    pieces rarest-first, one in-flight piece per (receiver, sender) pair;
+//  * leechers depart the moment they complete, as in the paper's setup
+//    ("peers leave upon completing their download").
+//
+// One tick is one second; download times are reported in seconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "swarm/client.hpp"
+
+namespace dsa::swarm {
+
+/// Experiment controls, defaulted to the paper's Sec. 5 setup (5 MB file,
+/// 128 KBps seeder, 50 leechers supplied by the caller).
+struct SwarmConfig {
+  std::size_t piece_count = 80;          // 5 MB in 64 KB pieces
+  double piece_size_kb = 64.0;
+  double seeder_capacity_kbps = 128.0;
+  std::size_t regular_slots = 4;         // leecher unchoke slots (Sort-S: 1)
+  std::size_t seeder_slots = 5;
+  std::size_t rechoke_interval = 10;     // ticks between choke rounds
+  std::size_t optimistic_period = 3;     // choke rounds per optimistic slot
+  std::size_t max_ticks = 20000;         // safety cap
+  std::uint64_t seed = 1;
+  /// Ticks between successive leecher arrivals; 0 = everyone starts at
+  /// tick 0 (the paper's setup). With a positive interval, leecher l joins
+  /// at tick l * arrival_interval and its download time is measured from
+  /// its own arrival.
+  std::size_t arrival_interval = 0;
+  /// When true, SwarmResult::series records per-tick swarm health.
+  bool record_series = false;
+};
+
+/// One per-tick snapshot of swarm health (record_series only).
+struct SwarmTick {
+  std::uint32_t active_leechers = 0;    // arrived, not yet complete
+  std::uint32_t completed_leechers = 0;
+  double transferred_kb = 0.0;          // bytes moved this tick
+  double mean_progress = 0.0;           // mean piece completion in [0, 1]
+};
+
+/// Per-leecher outcome of one swarm run.
+struct SwarmResult {
+  /// Download time in seconds per leecher (input order), measured from the
+  /// leecher's own arrival; < 0 when it never finished within max_ticks.
+  std::vector<double> completion_time;
+  bool all_completed = false;
+
+  /// Instrumentation: bytes each leecher uploaded / downloaded (KB), input
+  /// order. Upload counts only bytes that reached a receiver.
+  std::vector<double> uploaded_kb;
+  std::vector<double> downloaded_kb;
+
+  /// Per-tick swarm health; empty unless SwarmConfig::record_series.
+  std::vector<SwarmTick> series;
+
+  /// Mean completion time over leechers [begin, end); unfinished leechers
+  /// count as the run's duration cap. Throws std::invalid_argument on a bad
+  /// range.
+  [[nodiscard]] double group_mean_time(std::size_t begin, std::size_t end,
+                                       double cap_seconds) const;
+};
+
+/// Runs one swarm: `leechers[i]` runs the given variant with upload capacity
+/// `capacities[i]` (KBps). Throws std::invalid_argument on empty/mismatched
+/// inputs or non-positive capacities.
+SwarmResult run_swarm(const std::vector<ClientVariant>& leechers,
+                      const std::vector<double>& capacities,
+                      const SwarmConfig& config);
+
+/// Sec. 5 experiment helper: a 50-leecher swarm in which `count_a` leechers
+/// run `a` and the rest run `b`, capacities drawn from the Piatek
+/// distribution (stratified, shuffled by the run's seed). Returns the full
+/// result plus the group boundary = count_a (group A occupies [0, count_a)).
+SwarmResult run_mixed_swarm(ClientVariant a, ClientVariant b,
+                            std::size_t count_a, std::size_t total,
+                            const SwarmConfig& config);
+
+}  // namespace dsa::swarm

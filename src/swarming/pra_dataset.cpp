@@ -1,0 +1,142 @@
+#include "swarming/pra_dataset.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "swarming/dsa_model.hpp"
+#include "util/env.hpp"
+
+namespace dsa::swarming {
+
+PraDatasetOptions PraDatasetOptions::from_environment() {
+  PraDatasetOptions options;
+  const bool full = util::env_flag("DSA_FULL");
+  options.rounds = static_cast<std::size_t>(
+      util::env_int("DSA_ROUNDS", full ? 500 : 120));
+  options.pra.population = static_cast<std::size_t>(
+      util::env_int("DSA_POPULATION", 50));
+  options.pra.performance_runs = static_cast<std::size_t>(
+      util::env_int("DSA_PERF_RUNS", full ? 100 : 3));
+  options.pra.encounter_runs = static_cast<std::size_t>(
+      util::env_int("DSA_ENCOUNTER_RUNS", full ? 10 : 1));
+  options.pra.opponent_sample = static_cast<std::size_t>(
+      util::env_int("DSA_OPPONENTS", full ? 0 : 24));
+  options.pra.threads =
+      static_cast<std::size_t>(util::env_int("DSA_THREADS", 0));
+  options.pra.seed =
+      static_cast<std::uint64_t>(util::env_int("DSA_SEED", 2011));
+  options.path = util::env_string("DSA_RESULTS", "results/pra_results.csv");
+  return options;
+}
+
+std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
+                                           bool verbose) {
+  SimulationConfig sim;
+  sim.rounds = options.rounds;
+  SwarmingModel model(sim, BandwidthDistribution::piatek());
+
+  core::PraConfig pra = options.pra;
+  if (verbose) {
+    pra.progress = [](std::size_t done, std::size_t total) {
+      if (done % 256 == 0 || done == total) {
+        std::fprintf(stderr, "  pra: %zu/%zu protocols\n", done, total);
+      }
+    };
+  }
+
+  core::PraEngine engine(model, pra);
+  if (verbose) std::fprintf(stderr, "PRA pass 1/3: performance\n");
+  core::PraScores scores;
+  scores.raw_performance = engine.raw_performance();
+  const double best = *std::max_element(scores.raw_performance.begin(),
+                                        scores.raw_performance.end());
+  scores.performance.resize(scores.raw_performance.size());
+  for (std::size_t i = 0; i < scores.performance.size(); ++i) {
+    scores.performance[i] =
+        best > 0.0 ? scores.raw_performance[i] / best : 0.0;
+  }
+  if (verbose) std::fprintf(stderr, "PRA pass 2/3: robustness (50-50)\n");
+  scores.robustness = engine.tournament(0.5);
+  if (verbose) std::fprintf(stderr, "PRA pass 3/3: aggressiveness (10-90)\n");
+  scores.aggressiveness = engine.tournament(pra.minority_fraction);
+
+  std::vector<PraRecord> records(kProtocolCount);
+  for (std::uint32_t id = 0; id < kProtocolCount; ++id) {
+    PraRecord& rec = records[id];
+    rec.protocol = id;
+    rec.spec = decode_protocol(id);
+    rec.raw_performance = scores.raw_performance[id];
+    rec.performance = scores.performance[id];
+    rec.robustness = scores.robustness[id];
+    rec.aggressiveness = scores.aggressiveness[id];
+  }
+  return records;
+}
+
+void save_pra_dataset(const std::vector<PraRecord>& records,
+                      const std::filesystem::path& path) {
+  util::CsvTable table({"protocol", "stranger_policy", "h", "window",
+                        "ranking", "k", "allocation", "raw_performance",
+                        "performance", "robustness", "aggressiveness"});
+  for (const PraRecord& rec : records) {
+    table.add_row({
+        std::to_string(rec.protocol),
+        to_string(rec.spec.stranger_policy),
+        std::to_string(rec.spec.stranger_slots),
+        to_string(rec.spec.window),
+        to_string(rec.spec.ranking),
+        std::to_string(rec.spec.partner_slots),
+        to_string(rec.spec.allocation),
+        util::format_number(rec.raw_performance),
+        util::format_number(rec.performance),
+        util::format_number(rec.robustness),
+        util::format_number(rec.aggressiveness),
+    });
+  }
+  table.save(path);
+}
+
+std::vector<PraRecord> load_pra_dataset(const std::filesystem::path& path) {
+  const util::CsvTable table = util::CsvTable::load(path);
+  std::vector<PraRecord> records;
+  records.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    PraRecord rec;
+    rec.protocol =
+        static_cast<std::uint32_t>(table.number_at(r, "protocol"));
+    rec.spec = decode_protocol(rec.protocol);
+    rec.raw_performance = table.number_at(r, "raw_performance");
+    rec.performance = table.number_at(r, "performance");
+    rec.robustness = table.number_at(r, "robustness");
+    rec.aggressiveness = table.number_at(r, "aggressiveness");
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::vector<PraRecord> load_or_compute_pra_dataset(
+    const PraDatasetOptions& options, bool verbose) {
+  if (std::filesystem::exists(options.path)) {
+    if (verbose) {
+      std::fprintf(stderr, "loading cached PRA dataset: %s\n",
+                   options.path.string().c_str());
+    }
+    return load_pra_dataset(options.path);
+  }
+  if (verbose) {
+    std::fprintf(stderr,
+                 "no cached PRA dataset at %s; computing (set DSA_* env vars "
+                 "to rescale)...\n",
+                 options.path.string().c_str());
+  }
+  std::vector<PraRecord> records = compute_pra_dataset(options, verbose);
+  save_pra_dataset(records, options.path);
+  if (verbose) {
+    std::fprintf(stderr, "saved PRA dataset: %s\n",
+                 options.path.string().c_str());
+  }
+  return records;
+}
+
+}  // namespace dsa::swarming

@@ -1,0 +1,64 @@
+// Generation, persistence, and loading of the full PRA dataset over the
+// file-swarming design space — the expensive computation shared by the
+// Figure 2-8 and Table 3 benches.
+//
+// Scale is controlled by environment variables so the same binaries serve a
+// quick laptop pass and a paper-fidelity cluster run:
+//   DSA_ROUNDS          rounds per simulation       (default 120; paper 500)
+//   DSA_POPULATION      peers per simulation        (default 50;  paper 50)
+//   DSA_PERF_RUNS       homogeneous runs/protocol   (default 3;   paper 100)
+//   DSA_ENCOUNTER_RUNS  runs per protocol pair      (default 1;   paper 10)
+//   DSA_OPPONENTS       opponents sampled/protocol  (default 24;  paper: all)
+//   DSA_THREADS         worker threads              (default: hardware)
+//   DSA_SEED            master seed                 (default 2011)
+//   DSA_FULL=1          shorthand for the paper-fidelity values above
+//   DSA_RESULTS         dataset path (default results/pra_results.csv)
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "core/pra.hpp"
+#include "swarming/protocol.hpp"
+#include "util/csv.hpp"
+
+namespace dsa::swarming {
+
+/// One protocol's PRA characterization plus its decoded design dimensions.
+struct PraRecord {
+  std::uint32_t protocol = 0;
+  ProtocolSpec spec;
+  double raw_performance = 0.0;
+  double performance = 0.0;
+  double robustness = 0.0;
+  double aggressiveness = 0.0;
+};
+
+/// Reads the scale knobs above into a PraConfig (and rounds/population into
+/// the returned simulation config through PraDatasetOptions).
+struct PraDatasetOptions {
+  core::PraConfig pra;
+  std::size_t rounds = 120;
+  std::filesystem::path path = "results/pra_results.csv";
+
+  /// Builds options from the environment (see header comment).
+  static PraDatasetOptions from_environment();
+};
+
+/// Runs the full PRA quantification over all 3270 protocols with the given
+/// options, printing coarse progress to stderr when `verbose`.
+std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
+                                           bool verbose = false);
+
+/// CSV round-trip.
+void save_pra_dataset(const std::vector<PraRecord>& records,
+                      const std::filesystem::path& path);
+std::vector<PraRecord> load_pra_dataset(const std::filesystem::path& path);
+
+/// Loads the dataset at options.path, computing and saving it first when
+/// missing (the shared-cache behavior of the figure benches).
+std::vector<PraRecord> load_or_compute_pra_dataset(
+    const PraDatasetOptions& options, bool verbose = true);
+
+}  // namespace dsa::swarming

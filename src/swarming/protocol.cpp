@@ -1,0 +1,188 @@
+#include "swarming/protocol.hpp"
+
+#include <stdexcept>
+
+namespace dsa::swarming {
+
+namespace {
+
+// Sub-space sizes (Sec. 4.2).
+constexpr std::uint32_t kStrangerOptions = 10;   // 3 policies * h{1..3} + h=0
+constexpr std::uint32_t kSelectionOptions = 109;  // 2 * 6 * 9 + k=0
+constexpr std::uint32_t kAllocationOptions = 3;
+constexpr std::uint32_t kNoStrangerIndex = 9;    // the h = 0 singleton
+constexpr std::uint32_t kNoPartnerIndex = 108;   // the k = 0 singleton
+
+static_assert(kStrangerOptions * kSelectionOptions * kAllocationOptions ==
+              kProtocolCount);
+
+}  // namespace
+
+std::string ProtocolSpec::describe() const {
+  std::string text;
+  if (stranger_slots == 0) {
+    text += "NoStrangers";
+  } else {
+    text += to_string(stranger_policy) + "(h=" +
+            std::to_string(stranger_slots) + ")";
+  }
+  text += " | ";
+  if (partner_slots == 0) {
+    text += "NoPartners";
+  } else {
+    text += to_string(window) + "/" + to_string(ranking) +
+            "(k=" + std::to_string(partner_slots) + ")";
+  }
+  text += " | " + to_string(allocation);
+  return text;
+}
+
+ProtocolSpec decode_protocol(std::uint32_t id) {
+  if (id >= kProtocolCount) {
+    throw std::out_of_range("decode_protocol: id " + std::to_string(id) +
+                            " outside [0, " + std::to_string(kProtocolCount) +
+                            ")");
+  }
+  const std::uint32_t allocation = id % kAllocationOptions;
+  const std::uint32_t selection = (id / kAllocationOptions) % kSelectionOptions;
+  const std::uint32_t stranger =
+      id / (kAllocationOptions * kSelectionOptions);
+
+  ProtocolSpec spec;
+  spec.allocation = static_cast<AllocationPolicy>(allocation);
+
+  if (stranger == kNoStrangerIndex) {
+    spec.stranger_policy = StrangerPolicy::kPeriodic;  // canonical inert value
+    spec.stranger_slots = 0;
+  } else {
+    spec.stranger_policy = static_cast<StrangerPolicy>(stranger / 3);
+    spec.stranger_slots = static_cast<std::uint8_t>(stranger % 3 + 1);
+  }
+
+  if (selection == kNoPartnerIndex) {
+    spec.window = CandidateWindow::kTft;  // canonical inert values
+    spec.ranking = RankingFunction::kFastest;
+    spec.partner_slots = 0;
+  } else {
+    spec.window = static_cast<CandidateWindow>(selection / (6 * 9));
+    spec.ranking = static_cast<RankingFunction>((selection / 9) % 6);
+    spec.partner_slots = static_cast<std::uint8_t>(selection % 9 + 1);
+  }
+  return spec;
+}
+
+std::uint32_t encode_protocol(const ProtocolSpec& spec) {
+  if (spec.stranger_slots > 3 || spec.partner_slots > 9) {
+    throw std::invalid_argument("encode_protocol: h or k outside the space");
+  }
+  std::uint32_t stranger;
+  if (spec.stranger_slots == 0) {
+    if (spec.stranger_policy != StrangerPolicy::kPeriodic) {
+      throw std::invalid_argument(
+          "encode_protocol: h = 0 requires the canonical kPeriodic policy");
+    }
+    stranger = kNoStrangerIndex;
+  } else {
+    stranger = static_cast<std::uint32_t>(spec.stranger_policy) * 3 +
+               (spec.stranger_slots - 1);
+  }
+
+  std::uint32_t selection;
+  if (spec.partner_slots == 0) {
+    if (spec.window != CandidateWindow::kTft ||
+        spec.ranking != RankingFunction::kFastest) {
+      throw std::invalid_argument(
+          "encode_protocol: k = 0 requires canonical TFT/Fastest fields");
+    }
+    selection = kNoPartnerIndex;
+  } else {
+    selection = static_cast<std::uint32_t>(spec.window) * 6 * 9 +
+                static_cast<std::uint32_t>(spec.ranking) * 9 +
+                (spec.partner_slots - 1);
+  }
+
+  return stranger * kSelectionOptions * kAllocationOptions +
+         selection * kAllocationOptions +
+         static_cast<std::uint32_t>(spec.allocation);
+}
+
+ProtocolSpec bittorrent_protocol() {
+  ProtocolSpec spec;
+  spec.stranger_policy = StrangerPolicy::kPeriodic;
+  spec.stranger_slots = 1;  // the optimistic unchoke slot
+  spec.window = CandidateWindow::kTft;
+  spec.ranking = RankingFunction::kFastest;
+  spec.partner_slots = 4;  // BitTorrent's default regular unchoke count
+  spec.allocation = AllocationPolicy::kEqualSplit;
+  return spec;
+}
+
+ProtocolSpec birds_protocol() {
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.ranking = RankingFunction::kProximity;
+  return spec;
+}
+
+ProtocolSpec loyal_when_needed_protocol() {
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.ranking = RankingFunction::kLoyal;
+  spec.stranger_policy = StrangerPolicy::kWhenNeeded;
+  return spec;
+}
+
+ProtocolSpec sort_s_protocol() {
+  ProtocolSpec spec;
+  spec.stranger_policy = StrangerPolicy::kDefect;
+  spec.stranger_slots = 1;
+  spec.window = CandidateWindow::kTft;
+  spec.ranking = RankingFunction::kSlowest;
+  spec.partner_slots = 1;
+  spec.allocation = AllocationPolicy::kEqualSplit;
+  return spec;
+}
+
+ProtocolSpec random_rank_protocol() {
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.ranking = RankingFunction::kRandom;
+  return spec;
+}
+
+std::string to_string(StrangerPolicy policy) {
+  switch (policy) {
+    case StrangerPolicy::kPeriodic: return "Periodic";
+    case StrangerPolicy::kWhenNeeded: return "WhenNeeded";
+    case StrangerPolicy::kDefect: return "Defect";
+  }
+  return "?";
+}
+
+std::string to_string(CandidateWindow window) {
+  switch (window) {
+    case CandidateWindow::kTft: return "TFT";
+    case CandidateWindow::kTf2t: return "TF2T";
+  }
+  return "?";
+}
+
+std::string to_string(RankingFunction ranking) {
+  switch (ranking) {
+    case RankingFunction::kFastest: return "Fastest";
+    case RankingFunction::kSlowest: return "Slowest";
+    case RankingFunction::kProximity: return "Proximity";
+    case RankingFunction::kAdaptive: return "Adaptive";
+    case RankingFunction::kLoyal: return "Loyal";
+    case RankingFunction::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::string to_string(AllocationPolicy allocation) {
+  switch (allocation) {
+    case AllocationPolicy::kEqualSplit: return "EqualSplit";
+    case AllocationPolicy::kPropShare: return "PropShare";
+    case AllocationPolicy::kFreeride: return "Freeride";
+  }
+  return "?";
+}
+
+}  // namespace dsa::swarming

@@ -1,0 +1,102 @@
+// The actualized P2P file-swarming design space of Sec. 4.2.
+//
+// A protocol is the combination of:
+//   Stranger policy   — Periodic / When-needed / Defect, with h in {1,2,3}
+//                       strangers, plus the singleton "no strangers" (h = 0):
+//                       3*3 + 1 = 10 options;
+//   Selection function — candidate window TFT / TF2T, ranking function
+//                       (Sort Fastest / Slowest / Proximity / Adaptive /
+//                       Loyal / Random), k in {1..9} partners, plus the
+//                       singleton "no partners" (k = 0):
+//                       2*6*9 + 1 = 109 options;
+//   Resource allocation — Equal Split / Prop Share / Freeride: 3 options.
+//
+// Total: 10 * 109 * 3 = 3270 unique protocols, densely encoded as ids in
+// [0, 3270) so that tournament results can live in flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsa::swarming {
+
+/// B1-B3 of Sec. 4.2.
+enum class StrangerPolicy : std::uint8_t {
+  kPeriodic = 0,    // B1: give to up to h strangers every round
+  kWhenNeeded = 1,  // B2: only while the partner set is not full
+  kDefect = 2,      // B3: contact strangers but give them nothing
+};
+
+/// C1-C2: how far back the candidate list looks.
+enum class CandidateWindow : std::uint8_t {
+  kTft = 0,   // C1: peers that interacted with us in the last round
+  kTf2t = 1,  // C2: ... in either of the last two rounds
+};
+
+/// I1-I6 of Sec. 4.2.
+enum class RankingFunction : std::uint8_t {
+  kFastest = 0,    // I1
+  kSlowest = 1,    // I2
+  kProximity = 2,  // I3: closest to own upload capacity (Birds)
+  kAdaptive = 3,   // I4: closest to an adaptive aspiration level
+  kLoyal = 4,      // I5: longest uninterrupted cooperation
+  kRandom = 5,     // I6
+};
+
+/// R1-R3 of Sec. 4.2.
+enum class AllocationPolicy : std::uint8_t {
+  kEqualSplit = 0,  // R1
+  kPropShare = 1,   // R2: proportional to the partner's past contribution
+  kFreeride = 2,    // R3: give partners nothing
+};
+
+/// Number of protocols in the actualized space.
+inline constexpr std::uint32_t kProtocolCount = 10 * 109 * 3;
+
+/// Fully decoded protocol. When stranger_slots == 0 the stranger policy is
+/// canonicalized to kPeriodic; when partner_slots == 0 the window/ranking are
+/// canonicalized to kTft/kFastest — those fields are inert in that case, and
+/// canonicalization keeps encode(decode(id)) == id.
+struct ProtocolSpec {
+  StrangerPolicy stranger_policy = StrangerPolicy::kPeriodic;
+  std::uint8_t stranger_slots = 1;  // h in {0..3}
+  CandidateWindow window = CandidateWindow::kTft;
+  RankingFunction ranking = RankingFunction::kFastest;
+  std::uint8_t partner_slots = 1;  // k in {0..9}
+  AllocationPolicy allocation = AllocationPolicy::kEqualSplit;
+
+  bool operator==(const ProtocolSpec&) const = default;
+
+  /// Human-readable summary, e.g.
+  /// "WhenNeeded(h=2) | TFT/Loyal(k=7) | PropShare".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Decodes a dense id in [0, kProtocolCount); throws std::out_of_range
+/// otherwise.
+ProtocolSpec decode_protocol(std::uint32_t id);
+
+/// Inverse of decode_protocol; throws std::invalid_argument for specs
+/// outside the space (h > 3, k > 9, or non-canonical inert fields).
+std::uint32_t encode_protocol(const ProtocolSpec& spec);
+
+/// Named protocols the paper singles out.
+/// BitTorrent reference: TFT + Sort Fastest, k = 4 regular unchoke slots,
+/// Equal Split, Periodic strangers h = 1 (the optimistic unchoke slot).
+ProtocolSpec bittorrent_protocol();
+/// Birds (Sec. 2.3): BitTorrent with the Proximity ranking function.
+ProtocolSpec birds_protocol();
+/// Loyal-When-needed (Sec. 5): Sort Loyal + When-needed strangers.
+ProtocolSpec loyal_when_needed_protocol();
+/// Sort-S (Sec. 4.4/5): Sort Slowest, defect on strangers, one partner.
+ProtocolSpec sort_s_protocol();
+/// Random-ranking BitTorrent variant used in Fig. 10.
+ProtocolSpec random_rank_protocol();
+
+/// Short display names for enum values (used in tables and CSV).
+std::string to_string(StrangerPolicy policy);
+std::string to_string(CandidateWindow window);
+std::string to_string(RankingFunction ranking);
+std::string to_string(AllocationPolicy allocation);
+
+}  // namespace dsa::swarming

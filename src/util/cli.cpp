@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace dsa::util {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs args;
+  int i = 0;
+  // Optional leading subcommand.
+  if (i < argc && argv[i][0] != '-') {
+    args.subcommand_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("unexpected argument '" + token +
+                                  "' (flags look like --name [value])");
+    }
+    const std::string name = token.substr(2);
+    if (args.flags_.count(name)) {
+      throw std::invalid_argument("duplicate flag --" + name);
+    }
+    std::string value;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[i + 1];
+      ++i;
+    }
+    args.flags_[name] = value;
+    ++i;
+  }
+  return args;
+}
+
+bool CliArgs::has(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return false;
+  consumed_[flag] = true;
+  return true;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  consumed_[flag] = true;
+  if (it->second.empty()) {
+    throw std::invalid_argument("flag --" + flag + " needs a value");
+  }
+  return it->second;
+}
+
+std::string CliArgs::get(const std::string& flag,
+                         const std::string& fallback) const {
+  const auto v = value(flag);
+  return v ? *v : fallback;
+}
+
+std::int64_t CliArgs::get_int(const std::string& flag,
+                              std::int64_t fallback) const {
+  const auto v = value(flag);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return static_cast<std::int64_t>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& flag, double fallback) const {
+  const auto v = value(flag);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + flag + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!consumed_.count(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace dsa::util

@@ -1,0 +1,55 @@
+// Minimal command-line argument parser for the dsa_cli tool and other
+// executables: one positional subcommand followed by --flag / --flag value
+// options. No external dependencies, strict validation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dsa::util {
+
+/// Parsed command line: `prog subcommand --a 1 --b --c x`.
+class CliArgs {
+ public:
+  /// Parses argv (excluding argv[0]). Flags start with "--"; a flag is
+  /// boolean when followed by another flag or the end, valued otherwise.
+  /// Throws std::invalid_argument on malformed input (e.g. a bare value
+  /// with no preceding flag).
+  static CliArgs parse(int argc, const char* const* argv);
+
+  /// The first non-flag token, if any ("pra", "swarm", ...).
+  [[nodiscard]] const std::string& subcommand() const noexcept {
+    return subcommand_;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// Value of a flag; std::nullopt when absent, throws std::invalid_argument
+  /// when present but boolean.
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& flag) const;
+
+  /// Typed accessors with defaults; throw std::invalid_argument on
+  /// unparsable values.
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& flag,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+
+  /// Flags the caller never consumed — used to reject typos. Call after all
+  /// get()/has() lookups; returns the unknown flag names.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  std::string subcommand_;
+  // flag name (without "--") -> value ("" for boolean flags)
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace dsa::util

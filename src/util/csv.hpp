@@ -1,0 +1,58 @@
+// Tiny CSV reader/writer used to persist experiment datasets (e.g. the PRA
+// sweep shared by several figure benches) and to emit machine-readable series
+// next to each bench's textual summary. Only the subset of CSV we produce is
+// supported: comma separation, no embedded commas/quotes/newlines in fields.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace dsa::util {
+
+/// In-memory CSV document: a header row plus data rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Creates a table with the given column names.
+  explicit CsvTable(std::vector<std::string> header);
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return header_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Index of a named column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// Appends a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> fields);
+
+  /// Field accessors by (row, column-name).
+  [[nodiscard]] const std::string& at(std::size_t row,
+                                      const std::string& col) const;
+  [[nodiscard]] double number_at(std::size_t row, const std::string& col) const;
+
+  /// Serializes to `path`, creating parent directories. Throws on I/O error.
+  void save(const std::filesystem::path& path) const;
+
+  /// Parses a file previously written by save(). Throws on I/O or format
+  /// error.
+  static CsvTable load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with enough digits to round-trip typical metrics.
+std::string format_number(double value);
+
+}  // namespace dsa::util

@@ -1,0 +1,44 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace dsa::util {
+
+namespace {
+const char* raw(const char* name) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? nullptr : value;
+}
+}  // namespace
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = raw(name);
+  return value ? std::string(value) : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = raw(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || parsed < 0) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = raw(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const char* value = raw(name);
+  if (!value) return false;
+  const std::string text(value);
+  return text != "0" && text != "false" && text != "FALSE" && text != "no";
+}
+
+}  // namespace dsa::util

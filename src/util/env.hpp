@@ -1,0 +1,24 @@
+// Environment-variable configuration helpers. Bench binaries use these to
+// scale experiments between "quick" defaults (minutes on a laptop) and the
+// paper-fidelity settings (DSA_FULL=1), without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsa::util {
+
+/// Returns the value of `name`, or `fallback` if unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns `name` parsed as a non-negative integer, or `fallback` if
+/// unset/empty/unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Returns `name` parsed as a double, or `fallback` if unset/unparsable.
+double env_double(const char* name, double fallback);
+
+/// True when the variable is set to something other than "0", "false", "".
+bool env_flag(const char* name);
+
+}  // namespace dsa::util

@@ -1,0 +1,33 @@
+// Aligned plain-text table printer used by the bench binaries to render
+// paper-style tables and figure series on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsa::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headings.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders header, separator, and rows to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string fixed(double value, int digits);
+
+}  // namespace dsa::util

@@ -1,0 +1,121 @@
+// Minimal fixed-size thread pool used to farm out independent simulation
+// work items (tournament encounters, performance runs). Results must not
+// depend on scheduling: callers seed each work item independently (see
+// Rng::derive) and write to disjoint output slots.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dsa::util {
+
+/// Fixed pool of worker threads executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one). Defaults to the hardware
+  /// concurrency, which may be 1 on constrained machines.
+  explicit ThreadPool(std::size_t threads = default_thread_count()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Enqueues a job. Must not be called after destruction has begun.
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard lock(mutex_);
+      jobs_.push(std::move(job));
+      ++pending_;
+    }
+    work_available_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished executing.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Hardware concurrency with a floor of one.
+  static std::size_t default_thread_count() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+  /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  /// fn must be safe to invoke concurrently for distinct indices.
+  template <typename Fn>
+  void parallel_for(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    if (thread_count() == 1) {
+      // Avoid queueing overhead entirely on single-core machines.
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    const std::size_t lanes = std::min(thread_count(), count);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([&next, count, &fn] {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+          fn(i);
+        }
+      });
+    }
+    wait_idle();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lock(mutex_);
+        work_available_.wait(lock,
+                             [this] { return stopping_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stopping_ and drained
+        job = std::move(jobs_.front());
+        jobs_.pop();
+      }
+      job();
+      {
+        std::lock_guard lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> jobs_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dsa::util

@@ -1,0 +1,70 @@
+// Tests for the CLI argument parser (util/cli.hpp).
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace {
+
+using dsa::util::CliArgs;
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesSubcommandAndFlags) {
+  const CliArgs args = parse({"pra", "--runs", "5", "--verbose"});
+  EXPECT_EQ(args.subcommand(), "pra");
+  EXPECT_EQ(args.get_int("runs", 1), 5);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, EmptyCommandLine) {
+  const CliArgs args = parse({});
+  EXPECT_TRUE(args.subcommand().empty());
+  EXPECT_EQ(args.get("x", "fallback"), "fallback");
+}
+
+TEST(CliArgs, TypedAccessors) {
+  const CliArgs args = parse({"cmd", "--f", "2.5", "--s", "text", "--n", "7"});
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 2.5);
+  EXPECT_EQ(args.get("s", ""), "text");
+  EXPECT_EQ(args.get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.5), 1.5);
+}
+
+TEST(CliArgs, BadNumbersThrow) {
+  const CliArgs args = parse({"cmd", "--n", "7x", "--f", "abc"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, BooleanFlagHasNoValue) {
+  const CliArgs args = parse({"cmd", "--flag"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_THROW(args.value("flag"), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"cmd", "stray-value"}), std::invalid_argument);
+  EXPECT_THROW(parse({"cmd", "--dup", "1", "--dup", "2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"cmd", "--"}), std::invalid_argument);
+}
+
+TEST(CliArgs, TracksUnconsumedFlags) {
+  const CliArgs args = parse({"cmd", "--used", "1", "--typo", "2"});
+  (void)args.get_int("used", 0);
+  const auto unknown = args.unconsumed();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown.front(), "typo");
+}
+
+TEST(CliArgs, ValueAfterBooleanFlagBindsToNextFlag) {
+  const CliArgs args = parse({"cmd", "--a", "--b", "value"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_EQ(args.get("b", ""), "value");
+}
+
+}  // namespace

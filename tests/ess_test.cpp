@@ -1,0 +1,128 @@
+// Tests for the ESS solution concept (core/ess.hpp) on deterministic toy
+// models and the swarming substrate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/ess.hpp"
+#include "core/subspace.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/protocol.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::core;
+
+/// Strength-ordered toy domain (groups always earn their own strength).
+class ToyModel final : public EncounterModel {
+ public:
+  explicit ToyModel(std::vector<double> strengths)
+      : strengths_(std::move(strengths)) {}
+  [[nodiscard]] std::uint32_t protocol_count() const override {
+    return static_cast<std::uint32_t>(strengths_.size());
+  }
+  [[nodiscard]] std::string protocol_name(std::uint32_t id) const override {
+    return "toy-" + std::to_string(id);
+  }
+  [[nodiscard]] double homogeneous_utility(std::uint32_t p, std::size_t,
+                                           std::uint64_t) const override {
+    return strengths_.at(p);
+  }
+  [[nodiscard]] std::pair<double, double> mixed_utilities(
+      std::uint32_t a, std::uint32_t b, std::size_t, std::size_t,
+      std::uint64_t) const override {
+    return {strengths_.at(a), strengths_.at(b)};
+  }
+
+ private:
+  std::vector<double> strengths_;
+};
+
+TEST(Ess, StrongestProtocolIsFullyStable) {
+  std::vector<double> strengths(20);
+  std::iota(strengths.begin(), strengths.end(), 1.0);
+  const ToyModel model(strengths);
+  EssConfig config;
+  config.mutant_sample = 0;  // all mutants
+  const EssQuantifier ess(model, config);
+  const EssResult top = ess.stability_of(19);
+  EXPECT_DOUBLE_EQ(top.stability, 1.0);
+  EXPECT_TRUE(top.invaders.empty());
+  const EssResult bottom = ess.stability_of(0);
+  EXPECT_DOUBLE_EQ(bottom.stability, 0.0);
+  EXPECT_EQ(bottom.invaders.size(), 19u);
+}
+
+TEST(Ess, StabilityIsMonotoneInStrength) {
+  std::vector<double> strengths{3.0, 1.0, 4.0, 2.0};
+  const ToyModel model(strengths);
+  EssConfig config;
+  config.mutant_sample = 0;
+  const auto stability = EssQuantifier(model, config).stability_all();
+  // Ordered by strength: 1.0 < 2.0 < 3.0 < 4.0 -> ids 1, 3, 0, 2.
+  EXPECT_LT(stability[1], stability[3]);
+  EXPECT_LT(stability[3], stability[0]);
+  EXPECT_LT(stability[0], stability[2]);
+  EXPECT_DOUBLE_EQ(stability[2], 1.0);
+}
+
+TEST(Ess, TiesDoNotCountAsInvasions) {
+  const ToyModel model({5.0, 5.0});
+  EssConfig config;
+  config.mutant_sample = 0;
+  const auto stability = EssQuantifier(model, config).stability_all();
+  EXPECT_DOUBLE_EQ(stability[0], 1.0);
+  EXPECT_DOUBLE_EQ(stability[1], 1.0);
+}
+
+TEST(Ess, InvaderRecordsCarryUtilities) {
+  const ToyModel model({1.0, 2.0});
+  EssConfig config;
+  config.mutant_sample = 0;
+  const EssResult result = EssQuantifier(model, config).stability_of(0);
+  ASSERT_EQ(result.invaders.size(), 1u);
+  EXPECT_EQ(result.invaders[0].mutant, 1u);
+  EXPECT_DOUBLE_EQ(result.invaders[0].mutant_utility, 2.0);
+  EXPECT_DOUBLE_EQ(result.invaders[0].resident_utility, 1.0);
+}
+
+TEST(Ess, ValidatesConfiguration) {
+  const ToyModel model({1.0, 2.0});
+  EssConfig config;
+  config.mutant_fraction = 0.5;
+  EXPECT_THROW(EssQuantifier(model, config), std::invalid_argument);
+  config = EssConfig{};
+  config.runs = 0;
+  EXPECT_THROW(EssQuantifier(model, config), std::invalid_argument);
+  config = EssConfig{};
+  config.population = 1;
+  EXPECT_THROW(EssQuantifier(model, config), std::invalid_argument);
+  const EssQuantifier ok(model, EssConfig{});
+  EXPECT_THROW(ok.stability_of(5), std::out_of_range);
+}
+
+TEST(EssOnSwarming, ReciprocatorResistsFreerider) {
+  swarming::SimulationConfig sim;
+  sim.rounds = 100;
+  const swarming::SwarmingModel base(
+      sim, swarming::BandwidthDistribution::piatek());
+
+  swarming::ProtocolSpec freerider;
+  freerider.stranger_slots = 1;
+  freerider.partner_slots = 9;
+  freerider.allocation = swarming::AllocationPolicy::kFreeride;
+
+  const SubspaceModel subset(
+      base, {swarming::encode_protocol(swarming::bittorrent_protocol()),
+             swarming::encode_protocol(freerider)});
+  EssConfig config;
+  config.mutant_sample = 0;
+  config.runs = 2;
+  const EssQuantifier ess(subset, config);
+  // BitTorrent residents are not invadable by a 10% freerider mutant group.
+  EXPECT_DOUBLE_EQ(ess.stability_of(0).stability, 1.0);
+}
+
+}  // namespace

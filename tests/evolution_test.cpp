@@ -1,0 +1,182 @@
+// Tests for the replicator dynamics (core/evolution.hpp) on a deterministic
+// toy population model and on the real swarming substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/protocol.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::core;
+
+/// Toy domain: a protocol's utility is a fixed strength, independent of the
+/// mix — so the strongest menu entry must take over.
+class StrengthModel final : public PopulationModel {
+ public:
+  explicit StrengthModel(std::vector<double> strengths)
+      : strengths_(std::move(strengths)) {}
+
+  [[nodiscard]] std::vector<double> group_utilities(
+      std::span<const GroupShare> groups, std::uint64_t) const override {
+    std::vector<double> utilities;
+    utilities.reserve(groups.size());
+    for (const auto& group : groups) {
+      utilities.push_back(strengths_.at(group.protocol));
+    }
+    return utilities;
+  }
+
+ private:
+  std::vector<double> strengths_;
+};
+
+EvolutionConfig quick_config() {
+  EvolutionConfig config;
+  config.population = 30;
+  config.generations = 40;
+  config.runs_per_generation = 1;
+  return config;
+}
+
+TEST(Replicator, StrongestProtocolFixates) {
+  const StrengthModel model({1.0, 3.0, 2.0});
+  ReplicatorDynamics dynamics(model, {0, 1, 2}, quick_config());
+  const EvolutionResult result = dynamics.run_from_even_split();
+  EXPECT_EQ(result.fixated_menu_index, 1);
+  EXPECT_DOUBLE_EQ(result.final_shares()[1], 1.0);
+  EXPECT_EQ(result.share_history.size(), 41u);  // initial + generations
+}
+
+TEST(Replicator, SharesAlwaysSumToOne) {
+  const StrengthModel model({1.0, 1.5, 1.2, 0.5});
+  ReplicatorDynamics dynamics(model, {0, 1, 2, 3}, quick_config());
+  const EvolutionResult result = dynamics.run_from_even_split();
+  for (const auto& shares : result.share_history) {
+    double sum = 0.0;
+    for (double s : shares) sum += s;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Replicator, DominantStrategyTrendsUpward) {
+  // Wright-Fisher sampling adds drift, so per-generation monotonicity is
+  // not guaranteed; the trend over the run must still favor the dominant
+  // strategy decisively.
+  const StrengthModel model({1.0, 2.0});
+  ReplicatorDynamics dynamics(model, {0, 1}, quick_config());
+  const EvolutionResult result = dynamics.run_from_even_split();
+  EXPECT_GT(result.final_shares()[1], 0.9);
+  // Early-vs-late comparison: the mean share over the last quarter beats
+  // the mean over the first quarter.
+  const std::size_t quarter = result.share_history.size() / 4;
+  double early = 0.0, late = 0.0;
+  for (std::size_t g = 0; g < quarter; ++g) {
+    early += result.share_history[g][1];
+    late += result.share_history[result.share_history.size() - 1 - g][1];
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(Replicator, ZeroFitnessEverywhereFreezesShares) {
+  const StrengthModel model({0.0, 0.0});
+  ReplicatorDynamics dynamics(model, {0, 1}, quick_config());
+  const EvolutionResult result = dynamics.run_from_even_split();
+  EXPECT_EQ(result.final_shares(), result.share_history.front());
+  EXPECT_EQ(result.fixated_menu_index, -1);
+}
+
+TEST(Replicator, MutationKeepsExtinctProtocolsAlive) {
+  const StrengthModel model({1.0, 5.0});
+  EvolutionConfig config = quick_config();
+  config.generations = 80;
+  config.mutation_rate = 0.1;
+  ReplicatorDynamics dynamics(model, {0, 1}, config);
+  const EvolutionResult result = dynamics.run_from_even_split();
+  // With 10% mutation the weak protocol cannot go permanently extinct.
+  double weak_share_late = 0.0;
+  for (std::size_t g = result.share_history.size() - 10;
+       g < result.share_history.size(); ++g) {
+    weak_share_late += result.share_history[g][0];
+  }
+  EXPECT_GT(weak_share_late, 0.0);
+}
+
+TEST(Replicator, ValidatesInput) {
+  const StrengthModel model({1.0, 2.0});
+  EXPECT_THROW(ReplicatorDynamics(model, {0}, quick_config()),
+               std::invalid_argument);
+  EXPECT_THROW(ReplicatorDynamics(model, {0, 0}, quick_config()),
+               std::invalid_argument);
+  EvolutionConfig bad = quick_config();
+  bad.generations = 0;
+  EXPECT_THROW(ReplicatorDynamics(model, {0, 1}, bad),
+               std::invalid_argument);
+  bad = quick_config();
+  bad.mutation_rate = 1.0;
+  EXPECT_THROW(ReplicatorDynamics(model, {0, 1}, bad),
+               std::invalid_argument);
+
+  ReplicatorDynamics ok(model, {0, 1}, quick_config());
+  EXPECT_THROW(ok.run({1, 2}), std::invalid_argument);     // wrong total
+  EXPECT_THROW(ok.run({30, 0, 0}), std::invalid_argument);  // wrong width
+}
+
+TEST(Replicator, DeterministicAcrossRuns) {
+  const StrengthModel model({1.0, 1.01});
+  EvolutionConfig config = quick_config();
+  config.mutation_rate = 0.05;
+  ReplicatorDynamics dynamics(model, {0, 1}, config);
+  const auto a = dynamics.run_from_even_split();
+  const auto b = dynamics.run_from_even_split();
+  EXPECT_EQ(a.share_history, b.share_history);
+}
+
+// ------------------------------------------------ on the real substrate ----
+
+TEST(ReplicatorOnSwarming, FreeriderShareCollapses) {
+  swarming::SimulationConfig sim;
+  sim.rounds = 100;
+  const swarming::SwarmingModel model(
+      sim, swarming::BandwidthDistribution::piatek());
+
+  swarming::ProtocolSpec freerider;
+  freerider.stranger_slots = 1;
+  freerider.partner_slots = 9;
+  freerider.allocation = swarming::AllocationPolicy::kFreeride;
+
+  EvolutionConfig config;
+  config.population = 50;
+  config.generations = 25;
+  config.runs_per_generation = 1;
+  ReplicatorDynamics dynamics(
+      model,
+      {swarming::encode_protocol(swarming::bittorrent_protocol()),
+       swarming::encode_protocol(freerider)},
+      config);
+  const EvolutionResult result = dynamics.run_from_even_split();
+  EXPECT_LT(result.final_shares()[1], 0.1);
+  EXPECT_GT(result.final_shares()[0], 0.9);
+}
+
+TEST(ReplicatorOnSwarming, GroupUtilitiesAlignWithGroups) {
+  swarming::SimulationConfig sim;
+  sim.rounds = 60;
+  const swarming::SwarmingModel model(
+      sim, swarming::BandwidthDistribution::piatek());
+  const std::vector<GroupShare> groups = {
+      {swarming::encode_protocol(swarming::bittorrent_protocol()), 20},
+      {swarming::encode_protocol(swarming::birds_protocol()), 0},
+      {swarming::encode_protocol(swarming::loyal_when_needed_protocol()), 10},
+  };
+  const auto utilities = model.group_utilities(groups, 5);
+  ASSERT_EQ(utilities.size(), 3u);
+  EXPECT_GT(utilities[0], 0.0);
+  EXPECT_DOUBLE_EQ(utilities[1], 0.0);  // empty group
+  EXPECT_GT(utilities[2], 0.0);
+}
+
+}  // namespace

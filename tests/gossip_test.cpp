@@ -1,0 +1,120 @@
+// Tests for the gossip actualization domain (src/gossip): the Sec. 3.1
+// design space, dissemination mechanics, and PRA interoperability.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "gossip/gossip_model.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::gossip;
+
+std::uint32_t protocol_of(Selection s, Periodicity p, Filtering f, Reply r) {
+  const core::DesignSpace space = gossip_space();
+  const std::vector<std::size_t> levels{
+      static_cast<std::size_t>(s), static_cast<std::size_t>(p),
+      static_cast<std::size_t>(f), static_cast<std::size_t>(r)};
+  return static_cast<std::uint32_t>(space.encode(levels));
+}
+
+TEST(GossipSpace, HasThePaperSketchedDimensions) {
+  const core::DesignSpace space = gossip_space();
+  EXPECT_EQ(space.size(), 48u);
+  EXPECT_EQ(space.dimension_count(), 4u);
+  EXPECT_EQ(space.dimension(0).name, "Selection");
+  EXPECT_EQ(space.dimension(3).levels.size(), 3u);
+}
+
+TEST(GossipModel, ImplementsTheEncounterInterface) {
+  const GossipModel model;
+  EXPECT_EQ(model.protocol_count(), 48u);
+  EXPECT_NE(model.protocol_name(0).find("Selection=Random"),
+            std::string::npos);
+}
+
+TEST(GossipModel, DeterministicAndSeedSensitive) {
+  const GossipModel model;
+  const auto protocol =
+      protocol_of(kRandom, kFast, kNewest, kRespond);
+  EXPECT_DOUBLE_EQ(model.homogeneous_utility(protocol, 20, 5),
+                   model.homogeneous_utility(protocol, 20, 5));
+  EXPECT_NE(model.homogeneous_utility(protocol, 20, 5),
+            model.homogeneous_utility(protocol, 20, 6));
+}
+
+TEST(GossipModel, RespondersOutLearnIgnorers) {
+  // Within a mixed population, replying peers end up learning more than
+  // peers that take and never give back (the partners they exploit stop
+  // being useful sources for them via Best/Loyal selection).
+  const GossipModel model;
+  const auto responder = protocol_of(kBest, kFast, kNewest, kRespond);
+  const auto ignorer = protocol_of(kBest, kFast, kNewest, kIgnore);
+  const auto [resp, ign] = model.mixed_utilities(responder, ignorer, 15, 15, 3);
+  EXPECT_GT(resp, 0.0);
+  // A homogeneous responder population beats a homogeneous ignorer one.
+  EXPECT_GT(model.homogeneous_utility(responder, 30, 3),
+            model.homogeneous_utility(ignorer, 30, 3));
+  (void)ign;
+}
+
+TEST(GossipModel, DroppersLearnNothing) {
+  const GossipModel model;
+  const auto dropper =
+      protocol_of(kRandom, kFast, kNewest, kDropAndIgnore);
+  // Every pushed item is discarded immediately: utility ~0.
+  EXPECT_LT(model.homogeneous_utility(dropper, 20, 7), 0.05);
+}
+
+TEST(GossipModel, FastGossipersLearnMoreThanSlowOnes) {
+  const GossipModel model;
+  const auto fast = protocol_of(kRandom, kFast, kNewest, kRespond);
+  const auto slow = protocol_of(kRandom, kSlow, kNewest, kRespond);
+  EXPECT_GT(model.homogeneous_utility(fast, 30, 9),
+            model.homogeneous_utility(slow, 30, 9));
+}
+
+TEST(GossipModel, NewestFilteringBeatsRandomFiltering) {
+  // Pushing the freshest items transfers more news per exchange than a
+  // random pick from one's whole (mostly stale) database.
+  const GossipModel model;
+  const auto newest = protocol_of(kRandom, kFast, kNewest, kRespond);
+  const auto random_pick =
+      protocol_of(kRandom, kFast, kRandomPick, kRespond);
+  double newest_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    newest_total += model.homogeneous_utility(newest, 30, seed);
+    random_total += model.homogeneous_utility(random_pick, 30, seed);
+  }
+  EXPECT_GT(newest_total, random_total);
+}
+
+TEST(GossipModel, ValidatesInput) {
+  const GossipModel model;
+  EXPECT_THROW(model.simulate({}, 1), std::invalid_argument);
+  EXPECT_THROW(model.simulate({0}, 1), std::invalid_argument);
+  EXPECT_THROW(model.simulate({0, 99}, 1), std::out_of_range);
+  EXPECT_THROW(GossipModel(GossipConfig{0, 5}), std::invalid_argument);
+}
+
+TEST(GossipModel, WorksInsideThePraEngine) {
+  // The whole point: the same PRA machinery runs on the gossip domain.
+  const GossipModel model;
+  const core::SubspaceModel subset(
+      model, {protocol_of(kBest, kFast, kNewest, kRespond),
+              protocol_of(kBest, kFast, kNewest, kIgnore),
+              protocol_of(kRandom, kSlow, kRandomPick, kDropAndIgnore)});
+  core::PraConfig config;
+  config.population = 24;
+  config.performance_runs = 2;
+  config.encounter_runs = 2;
+  const core::PraScores scores = core::PraEngine(subset, config).run();
+  // The responder dominates the dropper on every measure.
+  EXPECT_GT(scores.performance[0], scores.performance[2]);
+  EXPECT_GT(scores.robustness[0], scores.robustness[2]);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Integration tests across core + swarming: the PRA quantification running
+// on the real round-based simulator (over a focused subspace to stay fast),
+// and the PRA dataset persistence layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/pra_dataset.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+SwarmingModel quick_model(std::size_t rounds = 120) {
+  SimulationConfig sim;
+  sim.rounds = rounds;
+  return SwarmingModel(sim, BandwidthDistribution::piatek());
+}
+
+std::uint32_t freerider_id() {
+  ProtocolSpec spec;
+  spec.stranger_policy = StrangerPolicy::kPeriodic;
+  spec.stranger_slots = 1;
+  spec.ranking = RankingFunction::kFastest;
+  spec.partner_slots = 9;
+  spec.allocation = AllocationPolicy::kFreeride;
+  return encode_protocol(spec);
+}
+
+std::uint32_t robust_id() {
+  ProtocolSpec spec;
+  spec.stranger_policy = StrangerPolicy::kWhenNeeded;
+  spec.stranger_slots = 2;
+  spec.ranking = RankingFunction::kFastest;
+  spec.partner_slots = 7;
+  spec.allocation = AllocationPolicy::kPropShare;
+  return encode_protocol(spec);
+}
+
+TEST(Integration, PraOverNamedProtocolSubspace) {
+  const SwarmingModel model = quick_model();
+  core::SubspaceModel subset(
+      model, {encode_protocol(bittorrent_protocol()),
+              encode_protocol(birds_protocol()),
+              encode_protocol(loyal_when_needed_protocol()),
+              encode_protocol(sort_s_protocol()), robust_id(),
+              freerider_id()});
+
+  core::PraConfig config;
+  config.population = 50;
+  config.performance_runs = 2;
+  config.encounter_runs = 2;
+  config.seed = 77;
+  const core::PraScores scores = core::PraEngine(subset, config).run();
+
+  // Indices in the subset, as listed above.
+  constexpr std::size_t kBt = 0, kBirds = 1, kLoyal = 2, kRobust = 4,
+                        kFreerider = 5;
+
+  // The freerider never uploads to partners: terrible performance and it
+  // loses every tournament against reciprocating protocols here.
+  EXPECT_LT(scores.performance[kFreerider], 0.4);
+  EXPECT_LT(scores.robustness[kFreerider], 0.5);
+
+  // The paper's robust family (When-needed + Fastest + PropShare) and
+  // Loyal-When-needed dominate the freerider.
+  EXPECT_GT(scores.robustness[kRobust], scores.robustness[kFreerider]);
+  EXPECT_GT(scores.robustness[kLoyal], scores.robustness[kFreerider]);
+
+  // Every score lives in [0, 1]; the best performer is exactly 1.
+  double best = 0.0;
+  for (std::size_t i = 0; i < scores.performance.size(); ++i) {
+    EXPECT_GE(scores.performance[i], 0.0);
+    EXPECT_LE(scores.performance[i], 1.0);
+    EXPECT_GE(scores.robustness[i], 0.0);
+    EXPECT_LE(scores.robustness[i], 1.0);
+    best = std::max(best, scores.performance[i]);
+  }
+  EXPECT_DOUBLE_EQ(best, 1.0);
+
+  // Reference points of Sec. 4.4.2/5: BitTorrent and Birds are reciprocating
+  // protocols with solid performance (well above the freerider's).
+  EXPECT_GT(scores.performance[kBt], scores.performance[kFreerider]);
+  EXPECT_GT(scores.performance[kBirds], scores.performance[kFreerider]);
+}
+
+TEST(Integration, PraResultsAreReproducibleAcrossEngineRuns) {
+  const SwarmingModel model = quick_model(60);
+  core::SubspaceModel subset(model,
+                             {encode_protocol(bittorrent_protocol()),
+                              encode_protocol(birds_protocol()), robust_id()});
+  core::PraConfig config;
+  config.performance_runs = 2;
+  config.encounter_runs = 1;
+  const auto first = core::PraEngine(subset, config).run();
+  const auto second = core::PraEngine(subset, config).run();
+  EXPECT_EQ(first.raw_performance, second.raw_performance);
+  EXPECT_EQ(first.robustness, second.robustness);
+  EXPECT_EQ(first.aggressiveness, second.aggressiveness);
+}
+
+// ----------------------------------------------------------- dataset IO ----
+
+TEST(PraDataset, SaveLoadRoundTrip) {
+  std::vector<PraRecord> records;
+  for (std::uint32_t id : {0u, 17u, 1234u, kProtocolCount - 1}) {
+    PraRecord rec;
+    rec.protocol = id;
+    rec.spec = decode_protocol(id);
+    rec.raw_performance = 100.0 + id;
+    rec.performance = 0.25;
+    rec.robustness = 0.5;
+    rec.aggressiveness = 0.75;
+    records.push_back(rec);
+  }
+  const auto path =
+      std::filesystem::temp_directory_path() / "dsa_pra_roundtrip.csv";
+  save_pra_dataset(records, path);
+  const auto loaded = load_pra_dataset(path);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].protocol, records[i].protocol);
+    EXPECT_EQ(loaded[i].spec, records[i].spec);
+    EXPECT_DOUBLE_EQ(loaded[i].raw_performance, records[i].raw_performance);
+    EXPECT_DOUBLE_EQ(loaded[i].robustness, records[i].robustness);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PraDataset, OptionsReadEnvironment) {
+  setenv("DSA_ROUNDS", "77", 1);
+  setenv("DSA_PERF_RUNS", "9", 1);
+  setenv("DSA_OPPONENTS", "5", 1);
+  setenv("DSA_RESULTS", "/tmp/custom_pra.csv", 1);
+  const auto options = PraDatasetOptions::from_environment();
+  EXPECT_EQ(options.rounds, 77u);
+  EXPECT_EQ(options.pra.performance_runs, 9u);
+  EXPECT_EQ(options.pra.opponent_sample, 5u);
+  EXPECT_EQ(options.path, std::filesystem::path("/tmp/custom_pra.csv"));
+  unsetenv("DSA_ROUNDS");
+  unsetenv("DSA_PERF_RUNS");
+  unsetenv("DSA_OPPONENTS");
+  unsetenv("DSA_RESULTS");
+}
+
+TEST(PraDataset, FullFlagRestoresPaperFidelityDefaults) {
+  setenv("DSA_FULL", "1", 1);
+  const auto options = PraDatasetOptions::from_environment();
+  EXPECT_EQ(options.rounds, 500u);
+  EXPECT_EQ(options.pra.performance_runs, 100u);
+  EXPECT_EQ(options.pra.encounter_runs, 10u);
+  EXPECT_EQ(options.pra.opponent_sample, 0u);  // exhaustive
+  unsetenv("DSA_FULL");
+}
+
+TEST(PraDataset, DefaultsAreTheQuickScale) {
+  for (const char* var : {"DSA_ROUNDS", "DSA_PERF_RUNS", "DSA_ENCOUNTER_RUNS",
+                          "DSA_OPPONENTS", "DSA_FULL", "DSA_RESULTS"}) {
+    unsetenv(var);
+  }
+  const auto options = PraDatasetOptions::from_environment();
+  EXPECT_EQ(options.rounds, 120u);
+  EXPECT_EQ(options.pra.performance_runs, 3u);
+  EXPECT_EQ(options.pra.encounter_runs, 1u);
+  EXPECT_EQ(options.pra.opponent_sample, 24u);
+  EXPECT_EQ(options.path, std::filesystem::path("results/pra_results.csv"));
+}
+
+TEST(PraDataset, LoadMissingFileThrows) {
+  EXPECT_THROW(load_pra_dataset("/nonexistent/pra.csv"), std::runtime_error);
+}
+
+TEST(PraDataset, CachedDatasetOnDiskIsWellFormedWhenPresent) {
+  // Integrity check of the shared bench cache: one record per protocol,
+  // metrics in range, normalization anchored at 1. Skipped when the cache
+  // has not been generated yet.
+  // ctest runs tests from the build tree (typically <repo>/build/tests);
+  // the cache lives in the source tree.
+  std::filesystem::path path;
+  for (const char* candidate :
+       {"results/pra_results.csv", "../results/pra_results.csv",
+        "../../results/pra_results.csv"}) {
+    if (std::filesystem::exists(candidate)) {
+      path = candidate;
+      break;
+    }
+  }
+  if (path.empty()) {
+    GTEST_SKIP() << "no cached dataset (run a figure bench first)";
+  }
+  const auto records = load_pra_dataset(path);
+  ASSERT_EQ(records.size(), kProtocolCount);
+  double best_performance = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ(records[i].protocol, static_cast<std::uint32_t>(i));
+    ASSERT_GE(records[i].performance, 0.0);
+    ASSERT_LE(records[i].performance, 1.0);
+    ASSERT_GE(records[i].robustness, 0.0);
+    ASSERT_LE(records[i].robustness, 1.0);
+    ASSERT_GE(records[i].aggressiveness, 0.0);
+    ASSERT_LE(records[i].aggressiveness, 1.0);
+    best_performance = std::max(best_performance, records[i].performance);
+  }
+  EXPECT_DOUBLE_EQ(best_performance, 1.0);
+}
+
+}  // namespace

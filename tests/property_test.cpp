@@ -1,0 +1,154 @@
+// Property-based sweeps over the design space: invariants that must hold
+// for EVERY protocol, exercised on a deterministic sample of the 3270 ids.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dsa::swarming;
+
+const BandwidthDistribution& piatek() {
+  static const BandwidthDistribution dist = BandwidthDistribution::piatek();
+  return dist;
+}
+
+/// A spread of protocol ids covering all dimension levels (multiplicative
+/// stride through the space).
+std::vector<std::uint32_t> sampled_ids() {
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    ids.push_back((i * 2654435761u) % kProtocolCount);
+  }
+  return ids;
+}
+
+class ProtocolPropertySweep : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  static SimulationConfig config(std::uint64_t seed) {
+    SimulationConfig c;
+    c.rounds = 80;
+    c.seed = seed;
+    return c;
+  }
+};
+
+TEST_P(ProtocolPropertySweep, ThroughputIsConservedAndNonNegative) {
+  // No protocol can deliver more than the offered upload capacity, and
+  // throughput is never negative.
+  const ProtocolSpec spec = decode_protocol(GetParam());
+  const std::vector<double> caps = piatek().stratified_sample(30);
+  double cap_mean = 0.0;
+  for (double c : caps) cap_mean += c;
+  cap_mean /= static_cast<double>(caps.size());
+
+  const std::vector<ProtocolSpec> protocols(30, spec);
+  const auto outcome = simulate_rounds(protocols, caps, config(11));
+  double mean = 0.0;
+  for (double t : outcome.peer_throughput) {
+    EXPECT_GE(t, 0.0);
+    mean += t;
+  }
+  mean /= static_cast<double>(outcome.peer_throughput.size());
+  EXPECT_LE(mean, cap_mean * (1.0 + 1e-9));
+}
+
+TEST_P(ProtocolPropertySweep, RunsAreDeterministicPerSeed) {
+  const ProtocolSpec spec = decode_protocol(GetParam());
+  const double a = run_homogeneous_throughput(spec, 20, config(5), piatek());
+  const double b = run_homogeneous_throughput(spec, 20, config(5), piatek());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_P(ProtocolPropertySweep, SurvivesChurn) {
+  // Churn must never crash or produce negative utility for any protocol.
+  const ProtocolSpec spec = decode_protocol(GetParam());
+  SimulationConfig c = config(7);
+  c.churn_rate = 0.1;
+  const std::vector<ProtocolSpec> protocols(20, spec);
+  const std::vector<double> caps = piatek().stratified_sample(20);
+  const auto outcome = simulate_rounds(protocols, caps, c, &piatek());
+  for (double t : outcome.peer_throughput) EXPECT_GE(t, 0.0);
+}
+
+TEST_P(ProtocolPropertySweep, EncounterGroupUtilitiesAreFinite) {
+  const ProtocolSpec spec = decode_protocol(GetParam());
+  const auto outcome = run_encounter(spec, bittorrent_protocol(), 10, 10,
+                                     config(3), piatek());
+  EXPECT_GE(outcome.group_a_mean, 0.0);
+  EXPECT_GE(outcome.group_b_mean, 0.0);
+  EXPECT_LT(outcome.group_a_mean, 1e7);
+  EXPECT_LT(outcome.group_b_mean, 1e7);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpaceSample, ProtocolPropertySweep,
+                         ::testing::ValuesIn(sampled_ids()));
+
+// ------------------------------------------------------- cross checks ----
+
+TEST(ProtocolSpaceProperties, FreerideNeverBeatsEqualSplitHomogeneously) {
+  // Switching allocation to Freeride (everything else equal) can never
+  // increase homogeneous population throughput.
+  dsa::util::Rng rng(13);
+  SimulationConfig config;
+  config.rounds = 80;
+  for (int trial = 0; trial < 12; ++trial) {
+    ProtocolSpec spec = decode_protocol(
+        static_cast<std::uint32_t>(rng.below(kProtocolCount)));
+    spec.allocation = AllocationPolicy::kEqualSplit;
+    config.seed = 100 + trial;
+    const double equal =
+        run_homogeneous_throughput(spec, 25, config, piatek());
+    spec.allocation = AllocationPolicy::kFreeride;
+    const double freeride =
+        run_homogeneous_throughput(spec, 25, config, piatek());
+    EXPECT_LE(freeride, equal + 1e-9) << spec.describe();
+  }
+}
+
+TEST(ProtocolSpaceProperties, RemovingStrangersNeverHelpsDefectPolicy) {
+  // A Defect-policy protocol gives strangers nothing; going from h > 0 to
+  // h = 0 only removes visibility (candidates lose the peer), so population
+  // throughput should not collapse relative to the h > 0 variant by more
+  // than the simulation noise — and both must stay conservative.
+  SimulationConfig config;
+  config.rounds = 80;
+  ProtocolSpec defect;
+  defect.stranger_policy = StrangerPolicy::kDefect;
+  defect.stranger_slots = 2;
+  defect.ranking = RankingFunction::kFastest;
+  defect.partner_slots = 4;
+  config.seed = 3;
+  const double with_contacts =
+      run_homogeneous_throughput(defect, 25, config, piatek());
+  ProtocolSpec hermit = defect;
+  hermit.stranger_policy = StrangerPolicy::kPeriodic;  // canonical for h=0
+  hermit.stranger_slots = 0;
+  const double without =
+      run_homogeneous_throughput(hermit, 25, config, piatek());
+  // Defect contacts bootstrap candidate lists even though they carry no
+  // bandwidth; removing them must not increase throughput.
+  EXPECT_GE(with_contacts, without);
+}
+
+TEST(ProtocolSpaceProperties, MoreCapacityNeverHurtsPopulation) {
+  // Scaling every peer's capacity up scales throughput up (linearity).
+  SimulationConfig config;
+  config.rounds = 80;
+  config.seed = 19;
+  std::vector<double> caps = piatek().stratified_sample(25);
+  const std::vector<ProtocolSpec> protocols(25, bittorrent_protocol());
+  const double base =
+      simulate_rounds(protocols, caps, config).population_mean();
+  for (double& c : caps) c *= 2.0;
+  const double doubled =
+      simulate_rounds(protocols, caps, config).population_mean();
+  EXPECT_NEAR(doubled, 2.0 * base, 2.0 * base * 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Cross-library smoke test: every subsystem links and performs a minimal
+// end-to-end operation. Detailed behavior is covered by the per-module test
+// binaries.
+#include <gtest/gtest.h>
+
+#include "core/pra.hpp"
+#include "gametheory/expected_wins.hpp"
+#include "gametheory/payoff.hpp"
+#include "stats/regression.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "swarming/dsa_model.hpp"
+#include "swarming/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+TEST(Smoke, ProtocolSpaceRoundTrips) {
+  for (std::uint32_t id : {0u, 1u, 1234u, dsa::swarming::kProtocolCount - 1}) {
+    const auto spec = dsa::swarming::decode_protocol(id);
+    EXPECT_EQ(dsa::swarming::encode_protocol(spec), id);
+  }
+}
+
+TEST(Smoke, BitTorrentDilemmaHasDictatorEquilibrium) {
+  const auto game = dsa::gametheory::bittorrent_dilemma(100.0, 20.0);
+  EXPECT_TRUE(game.is_nash(dsa::gametheory::Action::kDefect,
+                           dsa::gametheory::Action::kCooperate));
+}
+
+TEST(Smoke, AppendixInvasionDirections) {
+  dsa::gametheory::ClassSetup setup;
+  setup.peers_above = 10;
+  setup.peers_below = 10;
+  setup.peers_same = 10;
+  setup.regular_slots = 4;
+  EXPECT_TRUE(dsa::gametheory::birds_invades_bittorrent(setup)
+                  .invader_outperforms);
+  EXPECT_FALSE(dsa::gametheory::bittorrent_invades_birds(setup)
+                   .invader_outperforms);
+}
+
+TEST(Smoke, RoundSimulatorProducesThroughput) {
+  dsa::swarming::SimulationConfig config;
+  config.rounds = 50;
+  const double throughput = dsa::swarming::run_homogeneous_throughput(
+      dsa::swarming::bittorrent_protocol(), 20, config,
+      dsa::swarming::BandwidthDistribution::piatek());
+  EXPECT_GT(throughput, 0.0);
+}
+
+TEST(Smoke, SwarmSimulatorCompletes) {
+  dsa::swarm::SwarmConfig config;
+  config.seed = 3;
+  std::vector<dsa::swarm::ClientVariant> leechers(
+      10, dsa::swarm::ClientVariant::kBitTorrent);
+  std::vector<double> capacities(10, 100.0);
+  const auto result = dsa::swarm::run_swarm(leechers, capacities, config);
+  EXPECT_TRUE(result.all_completed);
+}
+
+TEST(Smoke, OlsRecoversALine) {
+  dsa::stats::OlsModel model({"x"});
+  for (int i = 0; i < 20; ++i) {
+    const double x = i;
+    model.add(std::vector<double>{x}, 3.0 + 2.0 * x);
+  }
+  const auto fit = model.fit();
+  EXPECT_NEAR(fit.coefficient("(intercept)").estimate, 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient("x").estimate, 2.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,257 @@
+// Tests for the Axelrod-style strategies and round-robin tournament
+// (gametheory/strategies.hpp), checking the classic iterated-PD results and
+// the asymmetric BitTorrent Dilemma behavior.
+#include <gtest/gtest.h>
+
+#include "gametheory/strategies.hpp"
+
+namespace {
+
+using namespace dsa::gametheory;
+
+TournamentConfig quick_config() {
+  TournamentConfig config;
+  config.rounds = 100;
+  config.repeats = 1;
+  return config;
+}
+
+MatchResult pd_match(StrategyKind a, StrategyKind b,
+                     TournamentConfig config = quick_config()) {
+  dsa::util::Rng rng(9);
+  return play_match(prisoners_dilemma(), a, b, config, rng);
+}
+
+// ----------------------------------------------------------- matches ----
+
+TEST(IteratedMatch, TftPairCooperatesForever) {
+  const auto result = pd_match(StrategyKind::kTitForTat,
+                               StrategyKind::kTitForTat);
+  EXPECT_DOUBLE_EQ(result.cooperation_rate_fast, 1.0);
+  EXPECT_DOUBLE_EQ(result.cooperation_rate_slow, 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_payoff_fast, 3.0);  // mutual reward
+}
+
+TEST(IteratedMatch, TftLosesOnlyTheFirstRoundToAllD) {
+  TournamentConfig config = quick_config();
+  const auto result =
+      pd_match(StrategyKind::kTitForTat, StrategyKind::kAllDefect, config);
+  // TFT is suckered exactly once (payoff 0), then mutual punishment (1).
+  const double expected =
+      (0.0 + (static_cast<double>(config.rounds) - 1.0) * 1.0) /
+      static_cast<double>(config.rounds);
+  EXPECT_DOUBLE_EQ(result.mean_payoff_fast, expected);
+  EXPECT_DOUBLE_EQ(result.cooperation_rate_fast,
+                   1.0 / static_cast<double>(config.rounds));
+}
+
+TEST(IteratedMatch, AllDExploitsAllC) {
+  const auto result =
+      pd_match(StrategyKind::kAllDefect, StrategyKind::kAllCooperate);
+  EXPECT_DOUBLE_EQ(result.mean_payoff_fast, 5.0);  // temptation every round
+  EXPECT_DOUBLE_EQ(result.mean_payoff_slow, 0.0);  // sucker every round
+}
+
+TEST(IteratedMatch, GrimNeverForgives) {
+  // Against Random, Grim defects from the first opponent defection onward.
+  TournamentConfig config = quick_config();
+  dsa::util::Rng rng(4);
+  const auto result = play_match(prisoners_dilemma(),
+                                 StrategyKind::kGrimTrigger,
+                                 StrategyKind::kRandom, config, rng);
+  // Random defects ~half the time, so Grim triggers early and cooperates
+  // for only a handful of rounds.
+  EXPECT_LT(result.cooperation_rate_fast, 0.15);
+}
+
+TEST(IteratedMatch, Tf2tToleratesAnIsolatedDefection) {
+  // With 1% noise a TFT pair collapses into retaliation spirals that TF2T
+  // pairs avoid, so TF2T keeps a higher cooperation rate.
+  TournamentConfig noisy = quick_config();
+  noisy.rounds = 2000;
+  noisy.noise = 0.01;
+  dsa::util::Rng rng_a(7), rng_b(7);
+  const auto tft = play_match(prisoners_dilemma(), StrategyKind::kTitForTat,
+                              StrategyKind::kTitForTat, noisy, rng_a);
+  const auto tf2t = play_match(prisoners_dilemma(),
+                               StrategyKind::kTitForTwoTats,
+                               StrategyKind::kTitForTwoTats, noisy, rng_b);
+  EXPECT_GT(tf2t.cooperation_rate_fast, tft.cooperation_rate_fast);
+}
+
+TEST(IteratedMatch, WslsRecoversCooperationAfterNoise) {
+  // The signature WSLS property (Posch): after a unilateral defection the
+  // pair re-synchronizes on cooperation within two rounds, so under noise
+  // WSLS sustains high cooperation.
+  TournamentConfig noisy = quick_config();
+  noisy.rounds = 2000;
+  noisy.noise = 0.01;
+  noisy.aspiration = 2.0;  // reward (3) is a win, punishment (1) is a loss
+  dsa::util::Rng rng(11);
+  const auto result = play_match(prisoners_dilemma(),
+                                 StrategyKind::kWinStayLoseShift,
+                                 StrategyKind::kWinStayLoseShift, noisy, rng);
+  EXPECT_GT(result.cooperation_rate_fast, 0.8);
+}
+
+TEST(IteratedMatch, BitTorrentDilemmaFastRoleAlwaysPrefersDefection) {
+  // In the asymmetric BT Dilemma, AllD in the fast role beats TFT in the
+  // fast role against any fixed slow strategy (defection is dominant).
+  const auto game = bittorrent_dilemma(100.0, 20.0);
+  TournamentConfig config = quick_config();
+  for (StrategyKind slow : all_strategies()) {
+    dsa::util::Rng rng_a(3), rng_b(3);
+    const auto with_alld =
+        play_match(game, StrategyKind::kAllDefect, slow, config, rng_a);
+    const auto with_tft =
+        play_match(game, StrategyKind::kTitForTat, slow, config, rng_b);
+    EXPECT_GE(with_alld.mean_payoff_fast + 1e-9, with_tft.mean_payoff_fast)
+        << "slow strategy " << to_string(slow);
+  }
+}
+
+// -------------------------------------------------------- tournament ----
+
+TEST(Tournament, ClassicRosterRankingIsSane) {
+  const auto result =
+      round_robin(prisoners_dilemma(), all_strategies(), quick_config());
+  ASSERT_EQ(result.score.size(), all_strategies().size());
+  // The reciprocators (TFT family, Grim, WSLS) must outrank AllD in a
+  // roster full of retaliators — the central Axelrod observation.
+  auto score_of = [&](StrategyKind kind) {
+    for (std::size_t i = 0; i < result.roster.size(); ++i) {
+      if (result.roster[i] == kind) return result.score[i];
+    }
+    throw std::logic_error("missing strategy");
+  };
+  EXPECT_GT(score_of(StrategyKind::kTitForTat),
+            score_of(StrategyKind::kAllDefect));
+  EXPECT_GT(score_of(StrategyKind::kGrimTrigger),
+            score_of(StrategyKind::kAllDefect));
+  const StrategyKind winner = result.roster[result.winner()];
+  EXPECT_NE(winner, StrategyKind::kAllDefect);
+  EXPECT_NE(winner, StrategyKind::kRandom);
+}
+
+TEST(Tournament, PayoffMatrixDiagonalMatchesSelfPlay) {
+  const std::vector<StrategyKind> roster{StrategyKind::kTitForTat,
+                                         StrategyKind::kAllDefect};
+  const auto result =
+      round_robin(prisoners_dilemma(), roster, quick_config());
+  EXPECT_DOUBLE_EQ(result.payoff_matrix[0][0], 3.0);  // TFT vs TFT: reward
+  EXPECT_DOUBLE_EQ(result.payoff_matrix[1][1], 1.0);  // AllD: punishment
+}
+
+TEST(Tournament, DeterministicInSeed) {
+  const auto a =
+      round_robin(prisoners_dilemma(), all_strategies(), quick_config());
+  const auto b =
+      round_robin(prisoners_dilemma(), all_strategies(), quick_config());
+  EXPECT_EQ(a.score, b.score);
+}
+
+TEST(Tournament, ValidatesInput) {
+  EXPECT_THROW(round_robin(prisoners_dilemma(), {}, quick_config()),
+               std::invalid_argument);
+  TournamentConfig bad = quick_config();
+  bad.rounds = 0;
+  EXPECT_THROW(round_robin(prisoners_dilemma(), all_strategies(), bad),
+               std::invalid_argument);
+}
+
+TEST(Tournament, PdFactoryValidatesOrdering) {
+  EXPECT_THROW(prisoners_dilemma(1.0, 3.0, 2.0, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(prisoners_dilemma());
+}
+
+// -------------------------------------------------------- replicator ----
+
+TEST(StrategyReplicator, DefectorsStarveOnceReciprocatorsDominate) {
+  // The classic dynamics: AllD feasts on AllC early, shrinking AllC, but
+  // the growing TFT share starves AllD out; after AllD's extinction AllC
+  // and TFT are payoff-identical (everyone cooperates), so they coexist at
+  // whatever mix remained — cooperation wins, with TFT the majority.
+  const auto tournament = round_robin(
+      prisoners_dilemma(),
+      {StrategyKind::kAllCooperate, StrategyKind::kAllDefect,
+       StrategyKind::kTitForTat},
+      quick_config());
+  const auto trajectory = strategy_replicator(
+      tournament, {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0}, 400);
+  const auto& final_shares = trajectory.back();
+  EXPECT_LT(final_shares[1], 0.01);                      // AllD starved
+  EXPECT_GT(final_shares[0] + final_shares[2], 0.99);    // cooperators rule
+  EXPECT_GT(final_shares[2], final_shares[0]);           // TFT majority
+  // Phase 1 really happened: AllC's share dipped below its starting third.
+  EXPECT_LT(trajectory[50][0], 1.0 / 3.0);
+}
+
+TEST(StrategyReplicator, SharesStayNormalized) {
+  const auto tournament =
+      round_robin(prisoners_dilemma(), all_strategies(), quick_config());
+  std::vector<double> initial(all_strategies().size(),
+                              1.0 / all_strategies().size());
+  const auto trajectory = strategy_replicator(tournament, initial, 100);
+  EXPECT_EQ(trajectory.size(), 101u);
+  for (const auto& shares : trajectory) {
+    double sum = 0.0;
+    for (double s : shares) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(StrategyReplicator, MonomorphicPopulationIsFixed) {
+  const auto tournament = round_robin(
+      prisoners_dilemma(),
+      {StrategyKind::kTitForTat, StrategyKind::kAllDefect}, quick_config());
+  const auto trajectory =
+      strategy_replicator(tournament, {1.0, 0.0}, 50);
+  EXPECT_DOUBLE_EQ(trajectory.back()[0], 1.0);
+  EXPECT_DOUBLE_EQ(trajectory.back()[1], 0.0);
+}
+
+TEST(StrategyReplicator, HandlesNegativePayoffGames) {
+  // The BitTorrent Dilemma has negative entries (s - f); the internal shift
+  // must keep the dynamics well-defined.
+  const auto tournament = round_robin(
+      bittorrent_dilemma(100.0, 20.0),
+      {StrategyKind::kAllCooperate, StrategyKind::kAllDefect},
+      quick_config());
+  const auto trajectory =
+      strategy_replicator(tournament, {0.5, 0.5}, 200);
+  // Unconditional defection overruns unconditional cooperation.
+  EXPECT_GT(trajectory.back()[1], 0.95);
+}
+
+TEST(StrategyReplicator, ValidatesInput) {
+  const auto tournament = round_robin(
+      prisoners_dilemma(),
+      {StrategyKind::kTitForTat, StrategyKind::kAllDefect}, quick_config());
+  EXPECT_THROW(strategy_replicator(tournament, {1.0}, 10),
+               std::invalid_argument);
+  EXPECT_THROW(strategy_replicator(tournament, {0.7, 0.7}, 10),
+               std::invalid_argument);
+  EXPECT_THROW(strategy_replicator(tournament, {-0.5, 1.5}, 10),
+               std::invalid_argument);
+}
+
+TEST(Tournament, MeanPayoffAveragesBothRoles) {
+  const auto tournament = round_robin(
+      prisoners_dilemma(),
+      {StrategyKind::kAllDefect, StrategyKind::kAllCooperate},
+      quick_config());
+  // AllD vs AllC: temptation (5) in both roles; AllC vs AllD: sucker (0).
+  EXPECT_DOUBLE_EQ(tournament.mean_payoff(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(tournament.mean_payoff(1, 0), 0.0);
+}
+
+TEST(Tournament, StrategyNamesAreStable) {
+  EXPECT_EQ(to_string(StrategyKind::kWinStayLoseShift), "WSLS");
+  EXPECT_EQ(to_string(StrategyKind::kTitForTwoTats), "TF2T");
+  EXPECT_EQ(all_strategies().size(), 7u);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the swarm simulator's instrumentation (byte accounting, per-tick
+// series) and the staggered-arrival process.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "swarm/swarm_sim.hpp"
+
+namespace {
+
+using namespace dsa::swarm;
+
+SwarmConfig small_config(std::uint64_t seed = 1) {
+  SwarmConfig config;
+  config.piece_count = 20;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SwarmInstrumentation, UploadEqualsDownloadAcrossTheSwarm) {
+  // Conservation: every transferred byte has exactly one sender and one
+  // receiver. Leecher-side sums differ only by the seeder's contribution.
+  SwarmConfig config = small_config(3);
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(12, ClientVariant::kBitTorrent),
+                std::vector<double>(12, 80.0), config);
+  ASSERT_TRUE(result.all_completed);
+  double up = 0.0, down = 0.0;
+  for (std::size_t l = 0; l < 12; ++l) {
+    up += result.uploaded_kb[l];
+    down += result.downloaded_kb[l];
+  }
+  // down = up + seeder's uploads, so down > up and the difference is
+  // bounded by what a 128 KBps seeder could have sent.
+  EXPECT_GT(down, up);
+  const double run_seconds = 20.0 * 64.0 / 128.0 * 12.0;  // generous bound
+  EXPECT_LT(down - up, config.seeder_capacity_kbps * run_seconds);
+}
+
+TEST(SwarmInstrumentation, CompletedLeechersDownloadedAtLeastTheFile) {
+  SwarmConfig config = small_config(5);
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(10, ClientVariant::kBirds),
+                std::vector<double>(10, 100.0), config);
+  ASSERT_TRUE(result.all_completed);
+  const double file_kb =
+      static_cast<double>(config.piece_count) * config.piece_size_kb;
+  for (double kb : result.downloaded_kb) {
+    EXPECT_GE(kb, file_kb * 0.999);
+  }
+}
+
+TEST(SwarmInstrumentation, SeriesTracksCompletionMonotonically) {
+  SwarmConfig config = small_config(7);
+  config.record_series = true;
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(10, ClientVariant::kBitTorrent),
+                std::vector<double>(10, 60.0), config);
+  ASSERT_TRUE(result.all_completed);
+  ASSERT_FALSE(result.series.empty());
+  std::uint32_t prev_completed = 0;
+  double prev_progress = 0.0;
+  for (const SwarmTick& tick : result.series) {
+    EXPECT_GE(tick.completed_leechers, prev_completed);
+    EXPECT_GE(tick.mean_progress, prev_progress - 1e-12);
+    EXPECT_LE(tick.active_leechers + tick.completed_leechers, 10u);
+    prev_completed = tick.completed_leechers;
+    prev_progress = tick.mean_progress;
+  }
+  EXPECT_EQ(result.series.back().completed_leechers, 10u);
+  EXPECT_NEAR(result.series.back().mean_progress, 1.0, 1e-12);
+}
+
+TEST(SwarmInstrumentation, SeriesOffByDefault) {
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(5, ClientVariant::kBitTorrent),
+                std::vector<double>(5, 60.0), small_config(9));
+  EXPECT_TRUE(result.series.empty());
+}
+
+TEST(SwarmArrivals, StaggeredArrivalsStillComplete) {
+  SwarmConfig config = small_config(11);
+  config.arrival_interval = 15;
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(8, ClientVariant::kBitTorrent),
+                std::vector<double>(8, 80.0), config);
+  EXPECT_TRUE(result.all_completed);
+  for (double t : result.completion_time) EXPECT_GT(t, 0.0);
+}
+
+TEST(SwarmArrivals, DownloadTimeMeasuredFromOwnArrival) {
+  // A late arrival into a warmed-up swarm should not be charged the wait:
+  // its measured download time stays in the same league as the first
+  // arrival's, not larger by the full arrival offset.
+  SwarmConfig config = small_config(13);
+  config.arrival_interval = 30;
+  const auto result =
+      run_swarm(std::vector<ClientVariant>(6, ClientVariant::kBitTorrent),
+                std::vector<double>(6, 80.0), config);
+  ASSERT_TRUE(result.all_completed);
+  const double first = result.completion_time.front();
+  const double last = result.completion_time.back();
+  // Total offset of the last arrival is 5 * 30 = 150 ticks; its measured
+  // time must not include it.
+  EXPECT_LT(last, first + 150.0);
+}
+
+TEST(SwarmArrivals, ZeroIntervalMatchesSimultaneousStart) {
+  SwarmConfig a = small_config(17);
+  SwarmConfig b = small_config(17);
+  b.arrival_interval = 0;
+  const std::vector<ClientVariant> leechers(8, ClientVariant::kBirds);
+  const std::vector<double> caps(8, 70.0);
+  const auto ra = run_swarm(leechers, caps, a);
+  const auto rb = run_swarm(leechers, caps, b);
+  EXPECT_EQ(ra.completion_time, rb.completion_time);
+}
+
+TEST(SwarmArrivals, FlashCrowdVersusTrickleBothServeEveryone) {
+  for (std::size_t interval : {5u, 40u}) {
+    SwarmConfig config = small_config(19);
+    config.arrival_interval = interval;
+    const auto result = run_swarm(
+        std::vector<ClientVariant>(10, ClientVariant::kLoyalWhenNeeded),
+        std::vector<double>(10, 90.0), config);
+    EXPECT_TRUE(result.all_completed) << "interval " << interval;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Behavioral fingerprints of the swarm client variants: observable
+// differences in who finishes when, mirroring the round-model ranking
+// fingerprints at the piece level.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "swarming/bandwidth.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::swarm;
+
+/// Mean completion times per leecher over several seeds, full paper-scale
+/// swarm, capacities from the Piatek distribution (sorted ascending).
+std::vector<double> completion_profile(ClientVariant variant,
+                                       std::size_t leechers = 50,
+                                       int seeds = 5) {
+  const std::vector<double> capacities =
+      swarming::BandwidthDistribution::piatek().stratified_sample(leechers);
+  std::vector<double> totals(leechers, 0.0);
+  SwarmConfig config;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    config.seed = static_cast<std::uint64_t>(seed);
+    const auto result = run_swarm(
+        std::vector<ClientVariant>(leechers, variant), capacities, config);
+    for (std::size_t l = 0; l < leechers; ++l) {
+      totals[l] += result.completion_time[l] >= 0.0
+                       ? result.completion_time[l]
+                       : static_cast<double>(config.max_ticks);
+    }
+  }
+  for (double& t : totals) t /= seeds;
+  return totals;
+}
+
+TEST(SwarmFingerprint, BitTorrentFavorsFastLeechers) {
+  // Fastest-first reciprocation: completion time falls with capacity
+  // (negative correlation).
+  const std::vector<double> capacities =
+      swarming::BandwidthDistribution::piatek().stratified_sample(50);
+  const auto times = completion_profile(ClientVariant::kBitTorrent);
+  EXPECT_LT(stats::pearson(times, capacities), 0.0);
+}
+
+TEST(SwarmFingerprint, BirdsSpreadsCompletionAcrossClasses) {
+  // Birds clusters by class, so the fast cluster detaches early and the
+  // slow majority trails: the completion-time spread (p90 - p10) under
+  // Birds is at least as wide as under BitTorrent.
+  const auto birds = completion_profile(ClientVariant::kBirds);
+  const auto bt = completion_profile(ClientVariant::kBitTorrent);
+  const double birds_spread =
+      stats::percentile(birds, 0.9) - stats::percentile(birds, 0.1);
+  const double bt_spread =
+      stats::percentile(bt, 0.9) - stats::percentile(bt, 0.1);
+  EXPECT_GT(birds_spread, bt_spread * 0.8);
+}
+
+TEST(SwarmFingerprint, SortSlowestServesSequentially) {
+  // Sort-S's serve-one-at-a-time dynamic produces a far wider completion
+  // spread than any parallel-sharing variant (the Fig. 10 deviation's
+  // mechanism, pinned down as a regression test).
+  const auto sorts = completion_profile(ClientVariant::kSortSlowest, 30, 3);
+  const auto bt = completion_profile(ClientVariant::kBitTorrent, 30, 3);
+  const double sorts_spread =
+      stats::percentile(sorts, 0.9) - stats::percentile(sorts, 0.1);
+  const double bt_spread =
+      stats::percentile(bt, 0.9) - stats::percentile(bt, 0.1);
+  EXPECT_GT(sorts_spread, 2.0 * bt_spread);
+}
+
+TEST(SwarmFingerprint, RandomIsInBitTorrentsLeague) {
+  // Fig. 10's "Random performs as well as BitTorrent" as a regression test.
+  const auto random = completion_profile(ClientVariant::kRandomRank);
+  const auto bt = completion_profile(ClientVariant::kBitTorrent);
+  EXPECT_LT(stats::mean(random), stats::mean(bt) * 1.1);
+}
+
+TEST(SwarmFingerprint, LoyalWhenNeededIsMixRobust) {
+  // Fig. 9(a)'s flatness: Loyal-When-needed's own download times barely
+  // move whether it is a 20% minority or an 80% majority.
+  SwarmConfig config;
+  auto loyal_mean_at = [&](std::size_t count) {
+    double total = 0.0;
+    for (int seed = 1; seed <= 5; ++seed) {
+      config.seed = static_cast<std::uint64_t>(seed) * 101 + count;
+      const auto result =
+          run_mixed_swarm(ClientVariant::kLoyalWhenNeeded,
+                          ClientVariant::kBitTorrent, count, 50, config);
+      total += result.group_mean_time(0, count,
+                                      static_cast<double>(config.max_ticks));
+    }
+    return total / 5.0;
+  };
+  const double as_minority = loyal_mean_at(10);
+  const double as_majority = loyal_mean_at(40);
+  EXPECT_LT(std::max(as_minority, as_majority),
+            std::min(as_minority, as_majority) * 1.25);
+}
+
+}  // namespace

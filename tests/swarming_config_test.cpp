@@ -1,0 +1,205 @@
+// Tests for the simulator's modeling knobs: stranger-probe efficiency, the
+// fixed-lane vs divide-among-selected ablation, and the optional receiver
+// intake cap.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+
+namespace {
+
+using namespace dsa::swarming;
+
+const BandwidthDistribution& piatek() {
+  static const BandwidthDistribution dist = BandwidthDistribution::piatek();
+  return dist;
+}
+
+SimulationConfig quick(std::uint64_t seed = 1) {
+  SimulationConfig config;
+  config.rounds = 150;
+  config.seed = seed;
+  return config;
+}
+
+// ------------------------------------------------- stranger efficiency ----
+
+TEST(SimKnobs, GiftOnlyProtocolThroughputScalesWithStrangerEfficiency) {
+  // A partnerless gifter delivers exactly stranger_efficiency of its
+  // capacity, so population throughput is linear in the knob.
+  ProtocolSpec gifter;
+  gifter.stranger_slots = 2;
+  gifter.partner_slots = 0;
+
+  SimulationConfig low = quick(3);
+  low.stranger_efficiency = 0.2;
+  SimulationConfig high = quick(3);
+  high.stranger_efficiency = 0.4;
+
+  const double at_low =
+      run_homogeneous_throughput(gifter, 30, low, piatek());
+  const double at_high =
+      run_homogeneous_throughput(gifter, 30, high, piatek());
+  EXPECT_GT(at_low, 0.0);
+  EXPECT_NEAR(at_high, 2.0 * at_low, 0.05 * at_high);
+}
+
+TEST(SimKnobs, GiftOnlyCeilingSitsNearThePapersFreeriderCeiling) {
+  // With the default 0.3 probe efficiency, the best gift-only protocol
+  // lands near the paper's ~0.31 normalized-performance ceiling relative
+  // to full capacity use.
+  ProtocolSpec gifter;
+  gifter.stranger_slots = 3;
+  gifter.partner_slots = 0;
+  const double gift_throughput =
+      run_homogeneous_throughput(gifter, 50, quick(5), piatek());
+
+  const std::vector<double> caps = piatek().stratified_sample(50);
+  double cap_mean = 0.0;
+  for (double c : caps) cap_mean += c;
+  cap_mean /= 50.0;
+
+  const double normalized = gift_throughput / cap_mean;
+  EXPECT_GT(normalized, 0.15);
+  EXPECT_LT(normalized, 0.45);
+}
+
+TEST(SimKnobs, SortSBeatsBitTorrentBecauseDefectionIsFree) {
+  // Sec. 4.4 / Fig. 10's counter-intuitive headline, reproduced: Sort-S
+  // pays no stranger-probe tax (Defect lanes carry nothing and cost
+  // nothing), so it outperforms the BitTorrent reference homogeneously.
+  SimulationConfig config = quick(0);
+  config.rounds = 300;
+  double sort_s = 0.0, bt = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    config.seed = seed;
+    sort_s += run_homogeneous_throughput(sort_s_protocol(), 50, config,
+                                         piatek());
+    bt += run_homogeneous_throughput(bittorrent_protocol(), 50, config,
+                                     piatek());
+  }
+  EXPECT_GT(sort_s, bt);
+}
+
+// ------------------------------------------------------- lane ablation ----
+
+TEST(SimKnobs, DivideAmongSelectedRemovesUnfilledLaneWaste) {
+  // Under the idealized lane model a k = 9 protocol with few candidates
+  // delivers at least as much as under fixed lanes.
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.partner_slots = 9;
+  SimulationConfig fixed = quick(7);
+  SimulationConfig ideal = quick(7);
+  ideal.lane_model = LaneModel::kDivideAmongSelected;
+  const double under_fixed =
+      run_homogeneous_throughput(spec, 20, fixed, piatek());
+  const double under_ideal =
+      run_homogeneous_throughput(spec, 20, ideal, piatek());
+  EXPECT_GE(under_ideal, under_fixed * 0.999);
+}
+
+TEST(SimKnobs, LaneModelsAgreeWhenLanesAreAlwaysFull) {
+  // A k = 1 protocol virtually always fills its single lane, so the two
+  // lane models coincide (same seeds, same choices).
+  ProtocolSpec spec = sort_s_protocol();
+  SimulationConfig fixed = quick(9);
+  SimulationConfig ideal = quick(9);
+  ideal.lane_model = LaneModel::kDivideAmongSelected;
+  const double a = run_homogeneous_throughput(spec, 20, fixed, piatek());
+  const double b = run_homogeneous_throughput(spec, 20, ideal, piatek());
+  EXPECT_NEAR(a, b, a * 0.02);
+}
+
+// ----------------------------------------------------------- intake cap ----
+
+TEST(SimKnobs, IntakeCapBoundsEveryPeersThroughput) {
+  SimulationConfig config = quick(11);
+  config.intake_factor = 1.0;
+  const std::vector<double> caps = piatek().stratified_sample(30);
+  const std::vector<ProtocolSpec> protocols(30, bittorrent_protocol());
+  const auto outcome = simulate_rounds(protocols, caps, config);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_LE(outcome.peer_throughput[i], caps[i] * 1.0 + 1e-9);
+  }
+}
+
+TEST(SimKnobs, IntakeCapOnlyEverReducesThroughput) {
+  SimulationConfig open = quick(13);
+  SimulationConfig capped = quick(13);
+  capped.intake_factor = 2.0;
+  for (const ProtocolSpec& spec :
+       {bittorrent_protocol(), birds_protocol(), sort_s_protocol()}) {
+    const double unbounded =
+        run_homogeneous_throughput(spec, 25, open, piatek());
+    const double bounded =
+        run_homogeneous_throughput(spec, 25, capped, piatek());
+    EXPECT_LE(bounded, unbounded * 1.0001) << spec.describe();
+  }
+}
+
+// ---------------------------------------------------------- round series ----
+
+TEST(SimKnobs, RoundSeriesMatchesAggregateThroughput) {
+  SimulationConfig config = quick(21);
+  config.record_round_series = true;
+  const std::vector<ProtocolSpec> protocols(20, bittorrent_protocol());
+  const std::vector<double> caps = piatek().stratified_sample(20);
+  const auto outcome = simulate_rounds(protocols, caps, config);
+  ASSERT_EQ(outcome.round_throughput.size(), config.rounds);
+  // Mean of the per-round series equals the population mean of the run.
+  double series_mean = 0.0;
+  for (double r : outcome.round_throughput) series_mean += r;
+  series_mean /= static_cast<double>(config.rounds);
+  EXPECT_NEAR(series_mean, outcome.population_mean(),
+              1e-9 * (1.0 + series_mean));
+}
+
+TEST(SimKnobs, RoundSeriesIsEmptyWhenDisabled) {
+  SimulationConfig config = quick(23);
+  const std::vector<ProtocolSpec> protocols(10, bittorrent_protocol());
+  const auto outcome =
+      simulate_rounds(protocols, piatek().stratified_sample(10), config);
+  EXPECT_TRUE(outcome.round_throughput.empty());
+}
+
+TEST(SimKnobs, CooperationRampsUpOverEarlyRounds) {
+  // Bootstrap dynamics: the first round moves almost nothing (only
+  // stranger probes), later rounds carry partner lanes.
+  SimulationConfig config = quick(25);
+  config.record_round_series = true;
+  config.rounds = 50;
+  const std::vector<ProtocolSpec> protocols(30, bittorrent_protocol());
+  const auto outcome =
+      simulate_rounds(protocols, piatek().stratified_sample(30), config);
+  const double first = outcome.round_throughput.front();
+  double late = 0.0;
+  for (std::size_t r = 40; r < 50; ++r) late += outcome.round_throughput[r];
+  late /= 10.0;
+  EXPECT_LT(first, late * 0.5);
+}
+
+TEST(SimKnobs, IntakeCapPenalizesCapacityBlindPairingMost) {
+  // Under a tight intake cap, capacity-assortative ranking (Proximity)
+  // loses less than capacity-blind ranking (Random): the mismatch-cost
+  // argument behind Birds.
+  SimulationConfig capped = quick(17);
+  capped.rounds = 250;
+  capped.intake_factor = 1.0;
+  auto perf = [&](RankingFunction ranking) {
+    ProtocolSpec spec = bittorrent_protocol();
+    spec.ranking = ranking;
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      capped.seed = seed;
+      total += run_homogeneous_throughput(spec, 50, capped, piatek());
+    }
+    return total;
+  };
+  EXPECT_GT(perf(RankingFunction::kProximity),
+            perf(RankingFunction::kRandom));
+}
+
+}  // namespace

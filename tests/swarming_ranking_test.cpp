@@ -1,0 +1,133 @@
+// Behavioral fingerprints of the six ranking functions: each actualization
+// must leave its characteristic signature on who-earns-what, observable
+// through per-peer throughput without reaching into simulator internals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+
+namespace {
+
+using namespace dsa::swarming;
+
+const BandwidthDistribution& piatek() {
+  static const BandwidthDistribution dist = BandwidthDistribution::piatek();
+  return dist;
+}
+
+/// Per-peer throughput of a homogeneous population with the given ranking,
+/// averaged over seeds, aligned with `capacities`.
+std::vector<double> throughput_profile(RankingFunction ranking,
+                                       const std::vector<double>& capacities) {
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.ranking = ranking;
+  SimulationConfig config;
+  config.rounds = 250;
+  std::vector<double> totals(capacities.size(), 0.0);
+  constexpr int kSeeds = 5;
+  const std::vector<ProtocolSpec> protocols(capacities.size(), spec);
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    config.seed = static_cast<std::uint64_t>(seed);
+    const auto outcome = simulate_rounds(protocols, capacities, config);
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += outcome.peer_throughput[i];
+    }
+  }
+  for (double& t : totals) t /= kSeeds;
+  return totals;
+}
+
+/// How strongly a peer's earnings track its capacity under this ranking.
+double capacity_alignment(RankingFunction ranking) {
+  const std::vector<double> capacities = piatek().stratified_sample(50);
+  return dsa::stats::pearson(throughput_profile(ranking, capacities),
+                             capacities);
+}
+
+TEST(RankingFingerprint, FastestIsCapacityAssortative) {
+  // Fastest-first reciprocation pays peers according to what they offer.
+  // (The Piatek tail caps the Pearson value: the one ~4 MBps peer holds a
+  // large share of total capacity, and nobody can receive from themselves,
+  // so even perfect assortativity cannot reach rho = 1 at n = 50.)
+  EXPECT_GT(capacity_alignment(RankingFunction::kFastest), 0.6);
+}
+
+TEST(RankingFingerprint, ProximityIsCapacityAssortative) {
+  // Birds' capacity-neighbor pairing also aligns earnings with capacity
+  // (peers trade with their own class).
+  EXPECT_GT(capacity_alignment(RankingFunction::kProximity), 0.6);
+}
+
+TEST(RankingFingerprint, SlowestRedistributesDownward) {
+  // Sort Slowest points lanes at the weakest contributors, so earnings
+  // decouple from capacity far more than under Fastest.
+  EXPECT_LT(capacity_alignment(RankingFunction::kSlowest),
+            capacity_alignment(RankingFunction::kFastest) - 0.1);
+}
+
+TEST(RankingFingerprint, RandomDecouplesEarningsFromCapacity) {
+  // Random selection spreads lanes uniformly over OTHER peers, so earnings
+  // flatten out and the heavy-capacity tail actually under-earns (it cannot
+  // receive its own large share of the lane pool): alignment is near zero
+  // or negative, and clearly below the assortative rankings.
+  const double random = capacity_alignment(RankingFunction::kRandom);
+  EXPECT_LT(random, 0.2);
+  EXPECT_LT(random, capacity_alignment(RankingFunction::kFastest) - 0.5);
+}
+
+TEST(RankingFingerprint, SlowPeersEarnMoreUnderSlowestThanFastest) {
+  // The redistribution view from the bottom: the slowest quartile's mean
+  // earnings are higher when everyone sorts slowest-first.
+  const std::vector<double> capacities = piatek().stratified_sample(48);
+  const auto under_fastest =
+      throughput_profile(RankingFunction::kFastest, capacities);
+  const auto under_slowest =
+      throughput_profile(RankingFunction::kSlowest, capacities);
+  double fastest_bottom = 0.0, slowest_bottom = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {  // stratified => sorted ascending
+    fastest_bottom += under_fastest[i];
+    slowest_bottom += under_slowest[i];
+  }
+  EXPECT_GT(slowest_bottom, fastest_bottom);
+}
+
+TEST(RankingFingerprint, LoyalSustainsThroughputWithoutCapacityData) {
+  // Loyal never looks at rates or capacities, yet sustained relationships
+  // keep population throughput within ~15% of the Fastest benchmark.
+  const std::vector<double> capacities = piatek().stratified_sample(50);
+  const auto loyal = throughput_profile(RankingFunction::kLoyal, capacities);
+  const auto fastest =
+      throughput_profile(RankingFunction::kFastest, capacities);
+  double loyal_total = 0.0, fastest_total = 0.0;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    loyal_total += loyal[i];
+    fastest_total += fastest[i];
+  }
+  EXPECT_GT(loyal_total, fastest_total * 0.85);
+}
+
+TEST(RankingFingerprint, AdaptiveRespondsToAspirationSmoothing) {
+  // The aspiration level is live state: changing its smoothing constant
+  // must change Adaptive outcomes (and must not change, say, Fastest).
+  const std::vector<double> capacities = piatek().stratified_sample(30);
+  auto run_with = [&](RankingFunction ranking, double smoothing) {
+    ProtocolSpec spec = bittorrent_protocol();
+    spec.ranking = ranking;
+    SimulationConfig config;
+    config.rounds = 150;
+    config.seed = 3;
+    config.aspiration_smoothing = smoothing;
+    const std::vector<ProtocolSpec> protocols(capacities.size(), spec);
+    return simulate_rounds(protocols, capacities, config).population_mean();
+  };
+  EXPECT_NE(run_with(RankingFunction::kAdaptive, 0.1),
+            run_with(RankingFunction::kAdaptive, 0.9));
+  EXPECT_DOUBLE_EQ(run_with(RankingFunction::kFastest, 0.1),
+                   run_with(RankingFunction::kFastest, 0.9));
+}
+
+}  // namespace

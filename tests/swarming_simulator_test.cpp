@@ -1,0 +1,345 @@
+// Behavioral tests of the Sec. 4.3.1 round-based simulator — the properties
+// the paper's results depend on: bootstrap via strangers, Prop Share's
+// bootstrap failure without them, freerider collapse, the Sort-Slowest
+// effect, churn, and encounter mechanics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+
+namespace {
+
+using namespace dsa::swarming;
+
+const BandwidthDistribution& piatek() {
+  static const BandwidthDistribution dist = BandwidthDistribution::piatek();
+  return dist;
+}
+
+SimulationConfig quick(std::uint64_t seed = 1, std::size_t rounds = 150) {
+  SimulationConfig config;
+  config.rounds = rounds;
+  config.seed = seed;
+  return config;
+}
+
+ProtocolSpec make(StrangerPolicy sp, int h, CandidateWindow w,
+                  RankingFunction rank, int k, AllocationPolicy alloc) {
+  ProtocolSpec spec;
+  spec.stranger_policy = sp;
+  spec.stranger_slots = static_cast<std::uint8_t>(h);
+  spec.window = w;
+  spec.ranking = rank;
+  spec.partner_slots = static_cast<std::uint8_t>(k);
+  spec.allocation = alloc;
+  return spec;
+}
+
+// ------------------------------------------------------- fundamentals ----
+
+TEST(RoundSim, DeterministicForSameSeed) {
+  const auto a = run_homogeneous_throughput(bittorrent_protocol(), 30,
+                                            quick(42), piatek());
+  const auto b = run_homogeneous_throughput(bittorrent_protocol(), 30,
+                                            quick(42), piatek());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RoundSim, DifferentSeedsDiffer) {
+  const auto a = run_homogeneous_throughput(bittorrent_protocol(), 30,
+                                            quick(1), piatek());
+  const auto b = run_homogeneous_throughput(bittorrent_protocol(), 30,
+                                            quick(2), piatek());
+  EXPECT_NE(a, b);
+}
+
+TEST(RoundSim, ValidatesInput) {
+  const SimulationConfig config = quick();
+  EXPECT_THROW(simulate_rounds({}, {}, config), std::invalid_argument);
+  EXPECT_THROW(
+      simulate_rounds({bittorrent_protocol()}, {1.0, 2.0}, config),
+      std::invalid_argument);
+  SimulationConfig zero_rounds = quick();
+  zero_rounds.rounds = 0;
+  EXPECT_THROW(simulate_rounds({bittorrent_protocol()}, {10.0}, zero_rounds),
+               std::invalid_argument);
+  SimulationConfig churny = quick();
+  churny.churn_rate = 0.1;
+  EXPECT_THROW(simulate_rounds({bittorrent_protocol()}, {10.0}, churny,
+                               /*churn_source=*/nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(run_homogeneous_throughput(bittorrent_protocol(), 0, config,
+                                          piatek()),
+               std::invalid_argument);
+  EXPECT_THROW(run_encounter(bittorrent_protocol(), birds_protocol(), 0, 5,
+                             config, piatek()),
+               std::invalid_argument);
+}
+
+TEST(RoundSim, ThroughputNeverExceedsOfferedCapacity) {
+  // Received bandwidth is conserved: population mean throughput cannot
+  // exceed mean upload capacity.
+  const std::vector<double> caps = piatek().stratified_sample(50);
+  double cap_mean = 0.0;
+  for (double c : caps) cap_mean += c;
+  cap_mean /= 50.0;
+  const double throughput = run_homogeneous_throughput(
+      bittorrent_protocol(), 50, quick(5), piatek());
+  EXPECT_LE(throughput, cap_mean * 1.0001);
+  EXPECT_GT(throughput, 0.0);
+}
+
+TEST(RoundSim, BitTorrentUsesNearlyAllCapacityInSteadyState) {
+  // With Equal Split and everyone running BT, every opened slot carries
+  // bandwidth, so population throughput should be close to mean capacity.
+  const std::vector<double> caps = piatek().stratified_sample(50);
+  double cap_mean = 0.0;
+  for (double c : caps) cap_mean += c;
+  cap_mean /= 50.0;
+  const double throughput = run_homogeneous_throughput(
+      bittorrent_protocol(), 50, quick(9, 300), piatek());
+  EXPECT_GT(throughput, 0.8 * cap_mean);
+}
+
+TEST(RoundSim, GroupMeanChecksRange) {
+  SimulationOutcome outcome;
+  outcome.peer_throughput = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(outcome.group_mean(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(outcome.group_mean(2, 4), 3.5);
+  EXPECT_DOUBLE_EQ(outcome.population_mean(), 2.5);
+  EXPECT_THROW(outcome.group_mean(2, 2), std::invalid_argument);
+  EXPECT_THROW(outcome.group_mean(0, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------- paper-critical behavior ----
+
+TEST(RoundSim, TotalFreeridersReceiveAlmostNothingFromEachOther) {
+  // Freeride allocation + Defect strangers: nobody ever uploads a byte.
+  const ProtocolSpec freerider =
+      make(StrangerPolicy::kDefect, 1, CandidateWindow::kTft,
+           RankingFunction::kFastest, 4, AllocationPolicy::kFreeride);
+  const double throughput =
+      run_homogeneous_throughput(freerider, 50, quick(3), piatek());
+  EXPECT_DOUBLE_EQ(throughput, 0.0);
+}
+
+TEST(RoundSim, PropShareWithDefectStrangersFailsToBootstrap) {
+  // The paper's bootstrap hazard: Prop Share never seeds cooperation when
+  // strangers get nothing (Sec. 4.4).
+  const ProtocolSpec spec =
+      make(StrangerPolicy::kDefect, 2, CandidateWindow::kTft,
+           RankingFunction::kSlowest, 1, AllocationPolicy::kPropShare);
+  const double throughput =
+      run_homogeneous_throughput(spec, 50, quick(4), piatek());
+  EXPECT_DOUBLE_EQ(throughput, 0.0);
+}
+
+TEST(RoundSim, PropShareWithWhenNeededStrangersBootstraps) {
+  // ... while the When-needed stranger policy is the paper's lightweight
+  // bootstrapping alternative.
+  const ProtocolSpec spec =
+      make(StrangerPolicy::kWhenNeeded, 2, CandidateWindow::kTft,
+           RankingFunction::kFastest, 7, AllocationPolicy::kPropShare);
+  const double throughput =
+      run_homogeneous_throughput(spec, 50, quick(4, 300), piatek());
+  EXPECT_GT(throughput, 0.0);
+}
+
+TEST(RoundSim, SortSlowestFamilyPeaksAtOnePartner) {
+  // Sec. 4.4's Sort-S story in our model: within the Sort Slowest family,
+  // one partner is best (the few-lanes-always-filled effect), and Sort-S
+  // stays within ~15% of the BitTorrent reference. (Deviation from the
+  // paper: their simulator puts Sort-S at the global performance maximum;
+  // ours tops the family but not the space — see EXPERIMENTS.md.)
+  auto family_perf = [&](int k) {
+    ProtocolSpec spec = sort_s_protocol();
+    spec.partner_slots = static_cast<std::uint8_t>(k);
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      total += run_homogeneous_throughput(spec, 50, quick(seed, 300),
+                                          piatek());
+    }
+    return total;
+  };
+  const double k1 = family_perf(1);
+  EXPECT_GT(k1, family_perf(3));
+  double bt_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    bt_total += run_homogeneous_throughput(bittorrent_protocol(), 50,
+                                           quick(seed, 300), piatek());
+  }
+  EXPECT_GT(k1, 0.85 * bt_total);
+}
+
+TEST(RoundSim, TopPerformersMaintainFewPartners) {
+  // Fig. 3's headline: the best homogeneous performers keep k low. The
+  // strongest protocol we know of (Loyal-When-needed with one partner)
+  // must beat both its own high-k variant and the BitTorrent reference.
+  auto perf = [&](ProtocolSpec spec) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      total += run_homogeneous_throughput(spec, 50, quick(seed, 300),
+                                          piatek());
+    }
+    return total;
+  };
+  ProtocolSpec loyal1 = loyal_when_needed_protocol();
+  loyal1.partner_slots = 1;
+  ProtocolSpec loyal9 = loyal_when_needed_protocol();
+  loyal9.partner_slots = 9;
+  const double top = perf(loyal1);
+  EXPECT_GT(top, perf(loyal9));
+  EXPECT_GT(top, perf(bittorrent_protocol()));
+}
+
+TEST(RoundSim, NoPartnerNoStrangerProtocolIsInert) {
+  // The doubly-degenerate protocol neither gives nor receives reciprocation;
+  // in a homogeneous population nothing ever flows.
+  ProtocolSpec inert;
+  inert.stranger_slots = 0;
+  inert.partner_slots = 0;
+  const double throughput =
+      run_homogeneous_throughput(inert, 30, quick(8), piatek());
+  EXPECT_DOUBLE_EQ(throughput, 0.0);
+}
+
+TEST(RoundSim, RobustProtocolBeatsFreeriderInEncounter) {
+  // A When-needed + Sort Fastest + Prop Share protocol (the paper's most
+  // robust family) must outperform invading freeriders.
+  const ProtocolSpec robust =
+      make(StrangerPolicy::kWhenNeeded, 2, CandidateWindow::kTft,
+           RankingFunction::kFastest, 7, AllocationPolicy::kPropShare);
+  const ProtocolSpec freerider =
+      make(StrangerPolicy::kPeriodic, 3, CandidateWindow::kTft,
+           RankingFunction::kFastest, 9, AllocationPolicy::kFreeride);
+  int robust_wins = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto outcome = run_encounter(robust, freerider, 25, 25,
+                                       quick(seed, 300), piatek());
+    if (outcome.a_wins()) ++robust_wins;
+  }
+  EXPECT_GE(robust_wins, 4);
+}
+
+TEST(RoundSim, EncounterGroupsAreOrderSymmetric) {
+  // Swapping the groups swaps the reported means (same seed, same capacity
+  // assignment by index).
+  const auto ab = run_encounter(bittorrent_protocol(), birds_protocol(), 20,
+                                30, quick(11), piatek());
+  const auto ba = run_encounter(birds_protocol(), bittorrent_protocol(), 20,
+                                30, quick(11), piatek());
+  // Note: groups sit at different indices, so this is a sanity check that
+  // both orderings produce finite, positive utilities rather than an exact
+  // symmetry claim.
+  EXPECT_GT(ab.group_a_mean + ab.group_b_mean, 0.0);
+  EXPECT_GT(ba.group_a_mean + ba.group_b_mean, 0.0);
+}
+
+TEST(RoundSim, StrangerlessProtocolStillReceivesOptimisticContacts) {
+  // h = 0 peers never contact anyone first, but periodic-stranger peers
+  // find them, so in a mixed population they still bootstrap.
+  ProtocolSpec hermit = bittorrent_protocol();
+  hermit.stranger_slots = 0;
+  const auto outcome = run_encounter(hermit, bittorrent_protocol(), 10, 40,
+                                     quick(13, 300), piatek());
+  EXPECT_GT(outcome.group_a_mean, 0.0);
+}
+
+TEST(RoundSim, KZeroProtocolGivesOnlyToStrangers) {
+  // k = 0 with Periodic strangers: gives stranger gifts but never
+  // reciprocates. Against BT it still receives optimistic contacts.
+  ProtocolSpec no_partners;
+  no_partners.stranger_policy = StrangerPolicy::kPeriodic;
+  no_partners.stranger_slots = 3;
+  no_partners.partner_slots = 0;
+  const auto outcome = run_encounter(no_partners, bittorrent_protocol(), 25,
+                                     25, quick(17, 300), piatek());
+  EXPECT_GT(outcome.group_b_mean, 0.0);
+  // BT reciprocates what the strangers gift, so group A receives something
+  // too, but less than the reciprocating majority.
+  EXPECT_LT(outcome.group_a_mean, outcome.group_b_mean);
+}
+
+// --------------------------------------------------------------- churn ----
+
+TEST(RoundSim, ChurnKeepsRunningAndChangesOutcome) {
+  SimulationConfig churny = quick(19, 200);
+  churny.churn_rate = 0.05;
+  const std::vector<ProtocolSpec> protocols(30, bittorrent_protocol());
+  const std::vector<double> caps = piatek().stratified_sample(30);
+  const auto with_churn =
+      simulate_rounds(protocols, caps, churny, &piatek());
+  const auto without =
+      simulate_rounds(protocols, caps, quick(19, 200), &piatek());
+  EXPECT_EQ(with_churn.peer_throughput.size(), 30u);
+  EXPECT_NE(with_churn.population_mean(), without.population_mean());
+  EXPECT_GT(with_churn.population_mean(), 0.0);
+}
+
+TEST(RoundSim, LowPartnerCountStillWinsUnderChurn) {
+  // Sec. 4.4: "we ran Performance tests for the whole space under churn
+  // rates of 0.01 and 0.1 ... it was still the protocols that employed a
+  // low number of partners that performed the best." Low-k variants must
+  // beat their high-k siblings at churn 0.1, and by a wider margin than at
+  // churn 0 (churn punishes large partner sets hardest).
+  auto perf = [&](ProtocolSpec spec, double churn) {
+    SimulationConfig config = quick(0, 300);
+    config.churn_rate = churn;
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      config.seed = seed;
+      total += run_homogeneous_throughput(spec, 50, config, piatek());
+    }
+    return total / 5.0;
+  };
+  ProtocolSpec loyal1 = loyal_when_needed_protocol();
+  loyal1.partner_slots = 1;
+  ProtocolSpec loyal9 = loyal_when_needed_protocol();
+  loyal9.partner_slots = 9;
+  const double ratio_calm = perf(loyal1, 0.0) / perf(loyal9, 0.0);
+  const double ratio_churny = perf(loyal1, 0.1) / perf(loyal9, 0.1);
+  EXPECT_GT(ratio_churny, 1.0);
+  EXPECT_GT(ratio_churny, ratio_calm);
+
+  ProtocolSpec bt9 = bittorrent_protocol();
+  bt9.partner_slots = 9;
+  EXPECT_GT(perf(bittorrent_protocol(), 0.1), perf(bt9, 0.1));
+}
+
+// ------------------------------------------------- ranking differences ----
+
+class RankingSweep : public ::testing::TestWithParam<RankingFunction> {};
+
+TEST_P(RankingSweep, EveryRankingBootstrapsWithEqualSplit) {
+  const ProtocolSpec spec =
+      make(StrangerPolicy::kPeriodic, 1, CandidateWindow::kTft, GetParam(), 4,
+           AllocationPolicy::kEqualSplit);
+  const double throughput =
+      run_homogeneous_throughput(spec, 40, quick(29, 200), piatek());
+  EXPECT_GT(throughput, 0.0) << "ranking " << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRankings, RankingSweep,
+    ::testing::Values(RankingFunction::kFastest, RankingFunction::kSlowest,
+                      RankingFunction::kProximity, RankingFunction::kAdaptive,
+                      RankingFunction::kLoyal, RankingFunction::kRandom));
+
+class WindowSweep : public ::testing::TestWithParam<CandidateWindow> {};
+
+TEST_P(WindowSweep, BothWindowsSustainCooperation) {
+  ProtocolSpec spec = bittorrent_protocol();
+  spec.window = GetParam();
+  const double throughput =
+      run_homogeneous_throughput(spec, 40, quick(31, 200), piatek());
+  EXPECT_GT(throughput, 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothWindows, WindowSweep,
+                         ::testing::Values(CandidateWindow::kTft,
+                                           CandidateWindow::kTf2t));
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Unit and property tests for src/util: RNG, CSV, env config, thread pool,
+// and table printing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dsa::util;
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+class RngBelowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowTest, StaysBelowBoundAndHitsAllResidues) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  const int draws = static_cast<int>(n) * 200;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.below(n);
+    ASSERT_LT(v, n);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_GT(seen[v], 0) << "value " << v << " never drawn";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBelowTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 64, 100));
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, DeriveIsDeterministicAndSensitiveToAllArgs) {
+  const Rng base(42);
+  Rng a = base.derive(1, 2, 3);
+  Rng a2 = base.derive(1, 2, 3);
+  EXPECT_EQ(a(), a2());
+  // Changing any coordinate changes the stream.
+  for (auto [x, y, z] : {std::tuple{2ULL, 2ULL, 3ULL},
+                         std::tuple{1ULL, 3ULL, 3ULL},
+                         std::tuple{1ULL, 2ULL, 4ULL}}) {
+    Rng b = base.derive(x, y, z);
+    Rng a3 = base.derive(1, 2, 3);
+    EXPECT_NE(a3(), b());
+  }
+}
+
+TEST(Rng, Hash64IsStable) {
+  EXPECT_EQ(hash64(0), hash64(0));
+  EXPECT_NE(hash64(0), hash64(1));
+}
+
+// ---------------------------------------------------------------- Csv ----
+
+TEST(CsvTable, RoundTripsThroughDisk) {
+  CsvTable table({"id", "name", "value"});
+  table.add_row({"1", "alpha", "0.5"});
+  table.add_row({"2", "beta", "1.25"});
+  const auto path =
+      std::filesystem::temp_directory_path() / "dsa_csv_test.csv";
+  table.save(path);
+  const CsvTable loaded = CsvTable::load(path);
+  ASSERT_EQ(loaded.row_count(), 2u);
+  EXPECT_EQ(loaded.at(0, "name"), "alpha");
+  EXPECT_DOUBLE_EQ(loaded.number_at(1, "value"), 1.25);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTable, RejectsBadRows) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"x", "has,comma"}), std::invalid_argument);
+}
+
+TEST(CsvTable, UnknownColumnThrows) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.column("missing"), std::out_of_range);
+  EXPECT_THROW(table.at(0, "missing"), std::out_of_range);
+}
+
+TEST(CsvTable, NonNumericFieldThrows) {
+  CsvTable table({"a"});
+  table.add_row({"not-a-number"});
+  EXPECT_THROW(table.number_at(0, "a"), std::invalid_argument);
+}
+
+TEST(CsvTable, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::load("/nonexistent/really/missing.csv"),
+               std::runtime_error);
+}
+
+TEST(FormatNumber, RoundTripsTypicalMetrics) {
+  for (double v : {0.0, 1.0, 0.123456789, 56.25, 1e-6, 745.0}) {
+    EXPECT_DOUBLE_EQ(std::stod(format_number(v)), v);
+  }
+}
+
+// ---------------------------------------------------------------- env ----
+
+TEST(Env, FallsBackWhenUnset) {
+  unsetenv("DSA_TEST_VAR");
+  EXPECT_EQ(env_string("DSA_TEST_VAR", "fallback"), "fallback");
+  EXPECT_EQ(env_int("DSA_TEST_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("DSA_TEST_VAR", 0.5), 0.5);
+  EXPECT_FALSE(env_flag("DSA_TEST_VAR"));
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("DSA_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("DSA_TEST_VAR", 7), 42);
+  setenv("DSA_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("DSA_TEST_VAR", 0.0), 2.5);
+  setenv("DSA_TEST_VAR", "text", 1);
+  EXPECT_EQ(env_string("DSA_TEST_VAR", ""), "text");
+  EXPECT_EQ(env_int("DSA_TEST_VAR", 7), 7);  // unparsable -> fallback
+  setenv("DSA_TEST_VAR", "1", 1);
+  EXPECT_TRUE(env_flag("DSA_TEST_VAR"));
+  setenv("DSA_TEST_VAR", "0", 1);
+  EXPECT_FALSE(env_flag("DSA_TEST_VAR"));
+  unsetenv("DSA_TEST_VAR");
+}
+
+TEST(Env, NegativeIntFallsBack) {
+  setenv("DSA_TEST_VAR", "-3", 1);
+  EXPECT_EQ(env_int("DSA_TEST_VAR", 9), 9);
+  unsetenv("DSA_TEST_VAR");
+}
+
+// --------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroCountParallelForIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+// ------------------------------------------------------- TablePrinter ----
+
+TEST(TablePrinter, AlignsColumnsAndSeparates) {
+  TablePrinter printer({"name", "v"});
+  printer.add_row({"a", "1.00"});
+  printer.add_row({"longer", "2"});
+  std::ostringstream out;
+  printer.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(printer.row_count(), 2u);
+}
+
+TEST(TablePrinter, RejectsWidthMismatch) {
+  TablePrinter printer({"a", "b"});
+  EXPECT_THROW(printer.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(FixedFormat, ProducesRequestedDigits) {
+  EXPECT_EQ(dsa::util::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(dsa::util::fixed(0.5, 0), "0");  // rounds to even
+  EXPECT_EQ(dsa::util::fixed(-2.0, 3), "-2.000");
+}
+
+}  // namespace

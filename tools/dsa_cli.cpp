@@ -1,0 +1,365 @@
+// dsa_cli — command-line front end to the library.
+//
+//   dsa_cli decode --id 1798
+//   dsa_cli named
+//   dsa_cli performance --protocol birds --rounds 300 --runs 5
+//   dsa_cli encounter --a loyal --b bt --fraction 0.5 --runs 5
+//   dsa_cli pra --protocols bt,birds,loyal,sorts --runs 3
+//   dsa_cli swarm --a birds --b bt --fraction 0.25 --runs 10
+//   dsa_cli nash --na 10 --nb 10 --nc 10 --ur 4
+//   dsa_cli evolve --protocols bt,birds,loyal --generations 40
+//
+// Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
+// space ids. Every command accepts --seed.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ess.hpp"
+#include "core/evolution.hpp"
+#include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "gametheory/expected_wins.hpp"
+#include "stats/descriptive.hpp"
+#include "swarm/swarm_sim.hpp"
+#include "swarming/dsa_model.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace dsa;
+using namespace dsa::swarming;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr, R"(usage: dsa_cli <command> [--flags]
+
+commands:
+  decode --id N                 describe a design-space protocol id
+  named                         list the named protocols and their ids
+  performance --protocol P      homogeneous population throughput
+  encounter --a P --b P         one tournament encounter (group means, winner)
+  pra --protocols P,P,...       PRA quantification over a protocol subset
+  swarm --a C --b C             piece-level swarm head-to-head (Sec. 5)
+  nash --na N --nb N --nc N --ur N
+                                Sec. 2.2/Appendix analytical model
+  stability --protocol P        ESS stability against sampled mutants
+  evolve --protocols P,P,...    replicator dynamics over a protocol menu
+
+common flags: --rounds N --runs N --seed N --population N --fraction X
+protocol names: bt, birds, loyal, sorts, random, or a numeric id
+swarm client names: bt, birds, loyal, sorts, random
+)");
+  std::exit(2);
+}
+
+std::uint32_t parse_protocol(const std::string& name) {
+  if (name == "bt") return encode_protocol(bittorrent_protocol());
+  if (name == "birds") return encode_protocol(birds_protocol());
+  if (name == "loyal") return encode_protocol(loyal_when_needed_protocol());
+  if (name == "sorts") return encode_protocol(sort_s_protocol());
+  if (name == "random") return encode_protocol(random_rank_protocol());
+  try {
+    const unsigned long id = std::stoul(name);
+    if (id >= kProtocolCount) throw std::out_of_range("id");
+    return static_cast<std::uint32_t>(id);
+  } catch (const std::exception&) {
+    usage("unknown protocol '" + name + "'");
+  }
+}
+
+std::vector<std::uint32_t> parse_protocol_list(const std::string& csv) {
+  std::vector<std::uint32_t> protocols;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) protocols.push_back(parse_protocol(token));
+  }
+  if (protocols.size() < 2) usage("need at least two protocols");
+  return protocols;
+}
+
+swarm::ClientVariant parse_client(const std::string& name) {
+  using swarm::ClientVariant;
+  if (name == "bt") return ClientVariant::kBitTorrent;
+  if (name == "birds") return ClientVariant::kBirds;
+  if (name == "loyal") return ClientVariant::kLoyalWhenNeeded;
+  if (name == "sorts") return ClientVariant::kSortSlowest;
+  if (name == "random") return ClientVariant::kRandomRank;
+  usage("unknown swarm client '" + name + "'");
+}
+
+SwarmingModel make_model(const util::CliArgs& args) {
+  SimulationConfig sim;
+  sim.rounds = static_cast<std::size_t>(args.get_int("rounds", 200));
+  sim.churn_rate = args.get_double("churn", 0.0);
+  return SwarmingModel(sim, BandwidthDistribution::piatek());
+}
+
+void reject_unknown_flags(const util::CliArgs& args) {
+  const auto unknown = args.unconsumed();
+  if (!unknown.empty()) usage("unknown flag --" + unknown.front());
+}
+
+int cmd_decode(const util::CliArgs& args) {
+  const auto id = static_cast<std::uint32_t>(args.get_int("id", 0));
+  reject_unknown_flags(args);
+  if (id >= kProtocolCount) usage("--id outside [0, 3270)");
+  std::printf("#%u  %s\n", id, decode_protocol(id).describe().c_str());
+  return 0;
+}
+
+int cmd_named(const util::CliArgs& args) {
+  reject_unknown_flags(args);
+  util::TablePrinter table({"name", "id", "protocol"});
+  const std::pair<const char*, ProtocolSpec> named[] = {
+      {"bt", bittorrent_protocol()},
+      {"birds", birds_protocol()},
+      {"loyal", loyal_when_needed_protocol()},
+      {"sorts", sort_s_protocol()},
+      {"random", random_rank_protocol()},
+  };
+  for (const auto& [name, spec] : named) {
+    table.add_row({name, std::to_string(encode_protocol(spec)),
+                   spec.describe()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_performance(const util::CliArgs& args) {
+  const std::uint32_t protocol =
+      parse_protocol(args.get("protocol", "bt"));
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 5));
+  const auto population =
+      static_cast<std::size_t>(args.get_int("population", 50));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const SwarmingModel model = make_model(args);
+  reject_unknown_flags(args);
+
+  std::vector<double> samples;
+  for (std::size_t run = 0; run < runs; ++run) {
+    samples.push_back(model.homogeneous_utility(
+        protocol, population, core::derive_seed(seed, 1, protocol, run)));
+  }
+  std::printf("%s\n", model.protocol_name(protocol).c_str());
+  std::printf("population throughput: %.1f KBps (95%% CI +/- %.1f, %zu runs, "
+              "%zu peers)\n",
+              stats::mean(samples), stats::ci95_half_width(samples), runs,
+              population);
+  return 0;
+}
+
+int cmd_encounter(const util::CliArgs& args) {
+  const std::uint32_t a = parse_protocol(args.get("a", "bt"));
+  const std::uint32_t b = parse_protocol(args.get("b", "birds"));
+  const double fraction = args.get_double("fraction", 0.5);
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 5));
+  const auto population =
+      static_cast<std::size_t>(args.get_int("population", 50));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const SwarmingModel model = make_model(args);
+  reject_unknown_flags(args);
+  if (fraction <= 0.0 || fraction >= 1.0) usage("--fraction outside (0,1)");
+
+  const auto count_a = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::lround(fraction * population)), 1,
+      population - 1);
+  std::vector<double> mean_a, mean_b;
+  std::size_t wins = 0;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto [ua, ub] = model.mixed_utilities(
+        a, b, count_a, population - count_a,
+        core::derive_seed(seed, 2, (static_cast<std::uint64_t>(a) << 32) | b,
+                          run));
+    mean_a.push_back(ua);
+    mean_b.push_back(ub);
+    if (ua > ub) ++wins;
+  }
+  std::printf("A: %s\n   %zu peers, mean utility %.1f KBps\n",
+              model.protocol_name(a).c_str(), count_a, stats::mean(mean_a));
+  std::printf("B: %s\n   %zu peers, mean utility %.1f KBps\n",
+              model.protocol_name(b).c_str(), population - count_a,
+              stats::mean(mean_b));
+  std::printf("A wins %zu/%zu encounters\n", wins, runs);
+  return 0;
+}
+
+int cmd_pra(const util::CliArgs& args) {
+  const auto protocols =
+      parse_protocol_list(args.get("protocols", "bt,birds,loyal,sorts"));
+  core::PraConfig pra;
+  pra.population = static_cast<std::size_t>(args.get_int("population", 50));
+  pra.performance_runs = static_cast<std::size_t>(args.get_int("runs", 3));
+  pra.encounter_runs = pra.performance_runs;
+  pra.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  const SwarmingModel model = make_model(args);
+  reject_unknown_flags(args);
+
+  const core::SubspaceModel subset(model, protocols);
+  const core::PraScores scores = core::PraEngine(subset, pra).run();
+  util::TablePrinter table({"protocol", "perf", "robust", "aggr"});
+  for (std::uint32_t i = 0; i < subset.protocol_count(); ++i) {
+    table.add_row({subset.protocol_name(i),
+                   util::fixed(scores.performance[i], 3),
+                   util::fixed(scores.robustness[i], 3),
+                   util::fixed(scores.aggressiveness[i], 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_swarm(const util::CliArgs& args) {
+  const auto a = parse_client(args.get("a", "birds"));
+  const auto b = parse_client(args.get("b", "bt"));
+  const double fraction = args.get_double("fraction", 0.5);
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 10));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+  reject_unknown_flags(args);
+  if (fraction <= 0.0 || fraction >= 1.0) usage("--fraction outside (0,1)");
+
+  swarm::SwarmConfig config;
+  const auto count_a =
+      std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(
+                                  fraction * 50.0)),
+                              1, 49);
+  std::vector<double> times_a, times_b;
+  for (std::size_t run = 0; run < runs; ++run) {
+    config.seed = seed + run;
+    const auto result = swarm::run_mixed_swarm(a, b, count_a, 50, config);
+    const double cap = static_cast<double>(config.max_ticks);
+    times_a.push_back(result.group_mean_time(0, count_a, cap));
+    times_b.push_back(result.group_mean_time(count_a, 50, cap));
+  }
+  std::printf("%-18s %zu leechers, avg download %.1f s (+/- %.1f)\n",
+              to_string(a).c_str(), count_a, stats::mean(times_a),
+              stats::ci95_half_width(times_a));
+  std::printf("%-18s %zu leechers, avg download %.1f s (+/- %.1f)\n",
+              to_string(b).c_str(), 50 - count_a, stats::mean(times_b),
+              stats::ci95_half_width(times_b));
+  return 0;
+}
+
+int cmd_nash(const util::CliArgs& args) {
+  gametheory::ClassSetup setup;
+  setup.peers_above = static_cast<std::size_t>(args.get_int("na", 10));
+  setup.peers_below = static_cast<std::size_t>(args.get_int("nb", 10));
+  setup.peers_same = static_cast<std::size_t>(args.get_int("nc", 10));
+  setup.regular_slots = static_cast<std::size_t>(args.get_int("ur", 4));
+  reject_unknown_flags(args);
+  if (!setup.valid()) {
+    usage("setup violates model assumptions (need NA > Ur, NC > Ur+1)");
+  }
+
+  const auto bt = gametheory::bittorrent_expected_wins(setup);
+  const auto birds = gametheory::birds_expected_wins(setup);
+  std::printf("Homogeneous expected game wins (NA=%zu NB=%zu NC=%zu Ur=%zu):\n",
+              setup.peers_above, setup.peers_below, setup.peers_same,
+              setup.regular_slots);
+  std::printf("  BitTorrent: %.3f   Birds: %.3f\n", bt.total(), birds.total());
+  const auto birds_in_bt = gametheory::birds_invades_bittorrent(setup);
+  const auto bt_in_birds = gametheory::bittorrent_invades_birds(setup);
+  std::printf("Birds invader in BT swarm: %.3f vs incumbent %.3f -> %s\n",
+              birds_in_bt.invader.total(), birds_in_bt.incumbent.total(),
+              birds_in_bt.invader_outperforms ? "BT is NOT a Nash equilibrium"
+                                              : "no gain");
+  std::printf("BT invader in Birds swarm: %.3f vs incumbent %.3f -> %s\n",
+              bt_in_birds.invader.total(), bt_in_birds.incumbent.total(),
+              bt_in_birds.invader_outperforms
+                  ? "Birds invaded!"
+                  : "no gain (Birds is a Nash equilibrium)");
+  return 0;
+}
+
+int cmd_stability(const util::CliArgs& args) {
+  const std::uint32_t protocol =
+      parse_protocol(args.get("protocol", "bt"));
+  core::EssConfig config;
+  config.population = static_cast<std::size_t>(args.get_int("population", 50));
+  config.mutant_fraction = args.get_double("fraction", 0.1);
+  config.runs = static_cast<std::size_t>(args.get_int("runs", 1));
+  config.mutant_sample =
+      static_cast<std::size_t>(args.get_int("mutants", 24));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  const SwarmingModel model = make_model(args);
+  reject_unknown_flags(args);
+
+  const core::EssQuantifier ess(model, config);
+  const core::EssResult result = ess.stability_of(protocol);
+  std::printf("%s\n", model.protocol_name(protocol).c_str());
+  std::printf("stability %.3f against %zu sampled mutants (%.0f%% mutant "
+              "groups)\n",
+              result.stability,
+              config.mutant_sample == 0
+                  ? static_cast<std::size_t>(model.protocol_count() - 1)
+                  : config.mutant_sample,
+              100.0 * config.mutant_fraction);
+  if (!result.invaders.empty()) {
+    std::printf("successful invaders:\n");
+    for (const auto& invader : result.invaders) {
+      std::printf("  #%-5u %-55s %.1f vs %.1f KBps\n", invader.mutant,
+                  model.protocol_name(invader.mutant).c_str(),
+                  invader.mutant_utility, invader.resident_utility);
+    }
+  }
+  return 0;
+}
+
+int cmd_evolve(const util::CliArgs& args) {
+  const auto menu =
+      parse_protocol_list(args.get("protocols", "bt,birds,loyal"));
+  core::EvolutionConfig config;
+  config.population = static_cast<std::size_t>(args.get_int("population", 50));
+  config.generations =
+      static_cast<std::size_t>(args.get_int("generations", 40));
+  config.runs_per_generation =
+      static_cast<std::size_t>(args.get_int("runs", 2));
+  config.mutation_rate = args.get_double("mutation", 0.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  const SwarmingModel model = make_model(args);
+  reject_unknown_flags(args);
+
+  const core::ReplicatorDynamics dynamics(model, menu, config);
+  const core::EvolutionResult result = dynamics.run_from_even_split();
+  std::printf("Replicator dynamics, %zu generations, population %zu:\n",
+              config.generations, config.population);
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    std::printf("  %-55s share %.2f -> %.2f\n",
+                model.protocol_name(menu[i]).c_str(),
+                result.share_history.front()[i], result.final_shares()[i]);
+  }
+  if (result.fixated_menu_index >= 0) {
+    std::printf("fixated on: %s\n",
+                model
+                    .protocol_name(menu[static_cast<std::size_t>(
+                        result.fixated_menu_index)])
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args = util::CliArgs::parse(argc - 1, argv + 1);
+    const std::string& command = args.subcommand();
+    if (command == "decode") return cmd_decode(args);
+    if (command == "named") return cmd_named(args);
+    if (command == "performance") return cmd_performance(args);
+    if (command == "encounter") return cmd_encounter(args);
+    if (command == "pra") return cmd_pra(args);
+    if (command == "swarm") return cmd_swarm(args);
+    if (command == "nash") return cmd_nash(args);
+    if (command == "stability") return cmd_stability(args);
+    if (command == "evolve") return cmd_evolve(args);
+    usage(command.empty() ? "missing command" : "unknown command '" + command +
+                                                    "'");
+  } catch (const std::exception& error) {
+    usage(error.what());
+  }
+}
