@@ -65,6 +65,15 @@ std::vector<std::uint32_t> PraEngine::opponents_of(std::uint32_t p) const {
   return all;
 }
 
+double PraEngine::raw_performance_of(std::uint32_t p) const {
+  std::vector<double> runs(config_.performance_runs);
+  for (std::size_t r = 0; r < config_.performance_runs; ++r) {
+    runs[r] = model_.homogeneous_utility(
+        p, config_.population, derive_seed(config_.seed, /*tag=*/0x9E4F, p, r));
+  }
+  return stats::mean(runs);
+}
+
 std::vector<double> PraEngine::raw_performance() const {
   const std::uint32_t count = model_.protocol_count();
   std::vector<double> raw(count, 0.0);
@@ -74,16 +83,40 @@ std::vector<double> PraEngine::raw_performance() const {
                             ? util::ThreadPool::default_thread_count()
                             : config_.threads);
   pool.parallel_for(count, [&](std::size_t p) {
-    std::vector<double> runs(config_.performance_runs);
-    for (std::size_t r = 0; r < config_.performance_runs; ++r) {
-      runs[r] = model_.homogeneous_utility(
-          static_cast<std::uint32_t>(p), config_.population,
-          derive_seed(config_.seed, /*tag=*/0x9E4F, p, r));
-    }
-    raw[p] = stats::mean(runs);
+    raw[p] = raw_performance_of(static_cast<std::uint32_t>(p));
     if (config_.progress) config_.progress(++done, count);
   });
   return raw;
+}
+
+double PraEngine::win_rate_of(std::uint32_t p, double pi_fraction) const {
+  if (!(pi_fraction > 0.0 && pi_fraction < 1.0)) {
+    throw std::invalid_argument("PraEngine::win_rate_of: bad split");
+  }
+  const std::size_t count_pi = pi_count(pi_fraction);
+  const std::size_t count_other = config_.population - count_pi;
+  // Distinct seeds per split so the 50-50 and 90-10 experiments are
+  // independent samples, as in the paper.
+  const auto split_tag =
+      static_cast<std::uint64_t>(std::llround(pi_fraction * 1000.0));
+
+  const std::vector<std::uint32_t> opponents = opponents_of(p);
+  std::size_t wins = 0;
+  std::size_t games = 0;
+  for (std::uint32_t opponent : opponents) {
+    for (std::size_t run = 0; run < config_.encounter_runs; ++run) {
+      const std::uint64_t seed =
+          derive_seed(config_.seed, split_tag,
+                      (static_cast<std::uint64_t>(p) << 32) | opponent, run);
+      const auto [pi_mean, other_mean] =
+          model_.mixed_utilities(p, opponent, count_pi, count_other, seed);
+      // A strict win, as in Sec. 4.3.2 ("otherwise we mark it as a Loss").
+      if (pi_mean > other_mean) ++wins;
+      ++games;
+    }
+  }
+  return games == 0 ? 0.0
+                    : static_cast<double>(wins) / static_cast<double>(games);
 }
 
 std::vector<double> PraEngine::tournament(double pi_fraction) const {
@@ -91,13 +124,6 @@ std::vector<double> PraEngine::tournament(double pi_fraction) const {
     throw std::invalid_argument("PraEngine::tournament: bad split");
   }
   const std::uint32_t count = model_.protocol_count();
-  const std::size_t count_pi = pi_count(pi_fraction);
-  const std::size_t count_other = config_.population - count_pi;
-  // Distinct seeds per split so the 50-50 and 90-10 experiments are
-  // independent samples, as in the paper.
-  const auto split_tag = static_cast<std::uint64_t>(
-      std::llround(pi_fraction * 1000.0));
-
   std::vector<double> win_rate(count, 0.0);
   std::atomic<std::size_t> done{0};
 
@@ -105,26 +131,7 @@ std::vector<double> PraEngine::tournament(double pi_fraction) const {
                             ? util::ThreadPool::default_thread_count()
                             : config_.threads);
   pool.parallel_for(count, [&](std::size_t p) {
-    const std::vector<std::uint32_t> opponents =
-        opponents_of(static_cast<std::uint32_t>(p));
-    std::size_t wins = 0;
-    std::size_t games = 0;
-    for (std::uint32_t opponent : opponents) {
-      for (std::size_t run = 0; run < config_.encounter_runs; ++run) {
-        const std::uint64_t seed =
-            derive_seed(config_.seed, split_tag,
-                        (static_cast<std::uint64_t>(p) << 32) | opponent, run);
-        const auto [pi_mean, other_mean] = model_.mixed_utilities(
-            static_cast<std::uint32_t>(p), opponent, count_pi, count_other,
-            seed);
-        // A strict win, as in Sec. 4.3.2 ("otherwise we mark it as a Loss").
-        if (pi_mean > other_mean) ++wins;
-        ++games;
-      }
-    }
-    win_rate[p] = games == 0
-                      ? 0.0
-                      : static_cast<double>(wins) / static_cast<double>(games);
+    win_rate[p] = win_rate_of(static_cast<std::uint32_t>(p), pi_fraction);
     if (config_.progress) config_.progress(++done, count);
   });
   return win_rate;

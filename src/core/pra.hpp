@@ -62,10 +62,19 @@ class PraEngine {
   /// in raw domain units (one entry per protocol).
   [[nodiscard]] std::vector<double> raw_performance() const;
 
+  /// Raw performance of a single protocol. Seeds derive from (seed, p, run)
+  /// only, so raw_performance()[p] == raw_performance_of(p) exactly — the
+  /// property the checkpoint/resume path of the PRA sweep relies on.
+  [[nodiscard]] double raw_performance_of(std::uint32_t p) const;
+
   /// Win rate per protocol when it holds `pi_fraction` of the population.
   /// pi_fraction = 0.5 gives Robustness, 0.1 Aggressiveness, 0.9 the 90-10
   /// validation. Throws std::invalid_argument unless 0 < pi_fraction < 1.
   [[nodiscard]] std::vector<double> tournament(double pi_fraction) const;
+
+  /// Win rate of a single protocol at a split; tournament(f)[p] ==
+  /// win_rate_of(p, f) exactly (same per-item seed derivation).
+  [[nodiscard]] double win_rate_of(std::uint32_t p, double pi_fraction) const;
 
   /// Performance + Robustness + Aggressiveness in one pass.
   [[nodiscard]] PraScores run() const;

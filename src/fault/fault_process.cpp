@@ -1,0 +1,90 @@
+#include "fault/fault_process.hpp"
+
+#include <stdexcept>
+
+namespace dsa::fault {
+
+std::string to_string(FaultProcessKind kind) {
+  switch (kind) {
+    case FaultProcessKind::kMemorylessChurn: return "memoryless-churn";
+    case FaultProcessKind::kBurstChurn: return "burst-churn";
+    case FaultProcessKind::kCapacityDegradation: return "capacity-degradation";
+    case FaultProcessKind::kTargetedFailure: return "targeted-failure";
+  }
+  return "?";
+}
+
+FaultProcess FaultProcess::memoryless_churn(double rate) {
+  FaultProcess process;
+  process.kind = FaultProcessKind::kMemorylessChurn;
+  process.rate = rate;
+  return process;
+}
+
+FaultProcess FaultProcess::burst_churn(std::size_t period, double fraction) {
+  FaultProcess process;
+  process.kind = FaultProcessKind::kBurstChurn;
+  process.period = period;
+  process.fraction = fraction;
+  return process;
+}
+
+FaultProcess FaultProcess::capacity_degradation(std::size_t round,
+                                                double factor) {
+  FaultProcess process;
+  process.kind = FaultProcessKind::kCapacityDegradation;
+  process.round = round;
+  process.factor = factor;
+  return process;
+}
+
+FaultProcess FaultProcess::targeted_failure(std::size_t round,
+                                            double fraction) {
+  FaultProcess process;
+  process.kind = FaultProcessKind::kTargetedFailure;
+  process.round = round;
+  process.fraction = fraction;
+  return process;
+}
+
+bool FaultProcess::replaces_peers() const noexcept {
+  return kind == FaultProcessKind::kMemorylessChurn ||
+         kind == FaultProcessKind::kBurstChurn ||
+         kind == FaultProcessKind::kTargetedFailure;
+}
+
+void FaultProcess::validate() const {
+  switch (kind) {
+    case FaultProcessKind::kMemorylessChurn:
+      if (!(rate >= 0.0 && rate <= 1.0)) {
+        throw std::invalid_argument(
+            "FaultProcess.rate: memoryless churn rate must be in [0, 1]");
+      }
+      break;
+    case FaultProcessKind::kBurstChurn:
+      if (period == 0) {
+        throw std::invalid_argument(
+            "FaultProcess.period: burst churn period must be >= 1");
+      }
+      if (!(fraction >= 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "FaultProcess.fraction: burst churn fraction must be in [0, 1]");
+      }
+      break;
+    case FaultProcessKind::kCapacityDegradation:
+      if (!(factor > 0.0 && factor <= 1.0)) {
+        throw std::invalid_argument(
+            "FaultProcess.factor: degradation factor must be in (0, 1]");
+      }
+      break;
+    case FaultProcessKind::kTargetedFailure:
+      if (!(fraction >= 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "FaultProcess.fraction: targeted-failure fraction must be in "
+            "[0, 1]");
+      }
+      break;
+  }
+}
+
+}  // namespace dsa::fault

@@ -1,0 +1,56 @@
+// Pluggable fault processes for the cycle-based round simulator (Sec. 4.3.1).
+// The paper's churn study (Sec. 4.4) only exercises memoryless per-round peer
+// replacement; these processes generalize that into the perturbation classes
+// real deployments see (Nielson et al., Legout et al.): correlated burst
+// departures, capacity degradation, and targeted loss of the top-capacity
+// class. SimulationConfig carries a list of them; the engine applies each at
+// the end of every round in list order, drawing from the run's RNG so results
+// stay deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsa::fault {
+
+enum class FaultProcessKind : std::uint8_t {
+  /// Every peer is replaced with probability `rate` each round — the paper's
+  /// Sec. 4.4 churn, expressed as a process.
+  kMemorylessChurn,
+  /// Every `period` rounds, a uniformly chosen `fraction` of the population
+  /// is replaced at once (flash-crowd departure / correlated failure).
+  kBurstChurn,
+  /// At round `round`, every peer's upload capacity is multiplied by
+  /// `factor` in (0, 1] (ISP throttling, congestion collapse).
+  kCapacityDegradation,
+  /// At round `round`, the `fraction` highest-capacity peers are replaced
+  /// with fresh draws (losing exactly the contributors incentives lean on).
+  kTargetedFailure,
+};
+
+std::string to_string(FaultProcessKind kind);
+
+/// One fault process. Use the factory functions; unrelated fields are
+/// ignored by each kind.
+struct FaultProcess {
+  FaultProcessKind kind = FaultProcessKind::kMemorylessChurn;
+  double rate = 0.0;       // kMemorylessChurn: per-peer per-round probability
+  std::size_t period = 0;  // kBurstChurn: rounds between bursts (>= 1)
+  double fraction = 0.0;   // kBurstChurn / kTargetedFailure: share hit
+  std::size_t round = 0;   // kCapacityDegradation / kTargetedFailure: when
+  double factor = 1.0;     // kCapacityDegradation: capacity multiplier
+
+  static FaultProcess memoryless_churn(double rate);
+  static FaultProcess burst_churn(std::size_t period, double fraction);
+  static FaultProcess capacity_degradation(std::size_t round, double factor);
+  static FaultProcess targeted_failure(std::size_t round, double fraction);
+
+  /// True when applying the process replaces peers (and therefore needs a
+  /// bandwidth distribution to draw fresh capacities from).
+  [[nodiscard]] bool replaces_peers() const noexcept;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+}  // namespace dsa::fault

@@ -20,6 +20,35 @@ std::string to_string(ClientVariant variant) {
   return "?";
 }
 
+void SwarmConfig::validate(std::size_t leecher_count) const {
+  if (piece_count == 0) {
+    throw std::invalid_argument("SwarmConfig.piece_count: must be > 0");
+  }
+  if (!(piece_size_kb > 0.0)) {
+    throw std::invalid_argument("SwarmConfig.piece_size_kb: must be > 0");
+  }
+  if (!(seeder_capacity_kbps > 0.0)) {
+    throw std::invalid_argument(
+        "SwarmConfig.seeder_capacity_kbps: must be > 0");
+  }
+  if (regular_slots == 0) {
+    throw std::invalid_argument("SwarmConfig.regular_slots: must be > 0");
+  }
+  if (seeder_slots == 0) {
+    throw std::invalid_argument("SwarmConfig.seeder_slots: must be > 0");
+  }
+  if (rechoke_interval == 0) {
+    throw std::invalid_argument("SwarmConfig.rechoke_interval: must be > 0");
+  }
+  if (optimistic_period == 0) {
+    throw std::invalid_argument("SwarmConfig.optimistic_period: must be > 0");
+  }
+  if (max_ticks == 0) {
+    throw std::invalid_argument("SwarmConfig.max_ticks: must be > 0");
+  }
+  faults.validate(leecher_count);
+}
+
 double SwarmResult::group_mean_time(std::size_t begin, std::size_t end,
                                     double cap_seconds) const {
   if (begin >= end || end > completion_time.size()) {
@@ -45,9 +74,13 @@ class SwarmEngine {
               const std::vector<double>& capacities,
               const SwarmConfig& config)
       : config_(config),
+        plan_(config.faults),
         n_(leechers.size() + 1),
         pieces_(config.piece_count),
         rng_(config.seed),
+        // Faults draw from their own stream so an empty plan leaves the
+        // baseline run bitwise-identical.
+        fault_rng_(util::hash64(config.seed ^ 0x0fa17ed5eedc0deULL)),
         variant_(n_, ClientVariant::kBitTorrent),
         capacity_(n_, config.seeder_capacity_kbps),
         have_(n_ * pieces_, 0),
@@ -67,7 +100,12 @@ class SwarmEngine {
         tie_priority_(n_, 0),
         arrival_tick_(n_, 0),
         uploaded_(n_, 0.0),
-        downloaded_(n_, 0.0) {
+        downloaded_(n_, 0.0),
+        crashed_until_(n_, -1),
+        last_progress_(n_ * n_, 0),
+        blocked_until_(n_ * n_, 0),
+        backoff_(n_ * n_, config.faults.retry_backoff_ticks),
+        crash_schedule_(config.faults.crashes) {
     for (std::size_t l = 0; l < leechers.size(); ++l) {
       variant_[l + 1] = leechers[l];
       capacity_[l + 1] = capacities[l];
@@ -81,17 +119,28 @@ class SwarmEngine {
     for (std::size_t p = 0; p < pieces_; ++p) have_[p] = 1;
     have_count_[0] = pieces_;
     completion_tick_[0] = 0;
+    // Crash events fire in tick order; stable sort keeps same-tick events in
+    // plan order so replays are deterministic.
+    std::stable_sort(crash_schedule_.begin(), crash_schedule_.end(),
+                     [](const fault::CrashEvent& a, const fault::CrashEvent& b) {
+                       return a.tick < b.tick;
+                     });
   }
 
   SwarmResult run() {
     SwarmResult result;
     std::size_t tick = 0;
     for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
+      apply_faults(tick);
       process_arrivals(tick);
       if (tick % config_.rechoke_interval == 0) rechoke();
       tick_transferred_ = 0.0;
       transfer(tick);
+      if (plan_.piece_timeout_ticks > 0) expire_timeouts(tick);
       process_departures();
+      if (tick_transferred_ == 0.0 && any_active_incomplete()) {
+        ++stats_.stall_ticks;
+      }
       if (config_.record_series) {
         result.series.push_back(snapshot());
       }
@@ -108,17 +157,128 @@ class SwarmEngine {
       result.uploaded_kb[l] = uploaded_[l + 1];
       result.downloaded_kb[l] = downloaded_[l + 1];
     }
+    stats_.mean_seeder_recovery_ticks =
+        recoveries_ > 0 ? recovery_total_ / static_cast<double>(recoveries_)
+                        : -1.0;
+    result.fault_stats = stats_;
     return result;
   }
 
  private:
   void process_arrivals(std::size_t tick) {
     for (std::size_t i = 1; i < n_; ++i) {
-      if (!active_[i] && have_count_[i] < pieces_ &&
-          static_cast<std::int64_t>(tick) >= arrival_tick_[i]) {
+      if (active_[i] || is_complete(i)) continue;
+      if (crashed_until_[i] >= 0) {
+        // A crashed leecher sits out its downtime, then rejoins as a fresh
+        // peer (its piece map was wiped at crash time).
+        if (static_cast<std::int64_t>(tick) >= crashed_until_[i]) {
+          active_[i] = 1;
+          crashed_until_[i] = -1;
+        }
+      } else if (static_cast<std::int64_t>(tick) >= arrival_tick_[i]) {
         active_[i] = 1;
       }
     }
+  }
+
+  // --- fault injection ----------------------------------------------------
+
+  void apply_faults(std::size_t tick) {
+    while (next_crash_ < crash_schedule_.size() &&
+           crash_schedule_[next_crash_].tick <= tick) {
+      crash_leecher(crash_schedule_[next_crash_], tick);
+      ++next_crash_;
+    }
+    if (!plan_.seeder_outages.empty()) {
+      const bool down = plan_.seeder_down(tick);
+      if (down && !seeder_out_) {
+        take_seeder_down();
+      } else if (!down && seeder_out_) {
+        restore_seeder(tick);
+      }
+      if (seeder_out_) ++stats_.seeder_down_ticks;
+    }
+  }
+
+  /// Wipes a leecher's pieces and history and schedules its rejoin. No-op
+  /// when the leecher already completed, already crashed, or has not
+  /// arrived yet.
+  void crash_leecher(const fault::CrashEvent& crash, std::size_t tick) {
+    const std::size_t i = crash.leecher + 1;
+    if (!active_[i] || is_complete(i)) return;
+    ++stats_.crashes;
+    stats_.pieces_wiped += have_count_[i];
+    for (std::size_t p = 0; p < pieces_; ++p) {
+      if (have_[i * pieces_ + p]) --availability_[p];
+      have_[i * pieces_ + p] = 0;
+      claimed_[i * pieces_ + p] = 0;
+      bytes_done_[i * pieces_ + p] = 0.0;
+    }
+    have_count_[i] = 0;
+    // In-flight pieces it was receiving die with it (claimed_ row already
+    // cleared above); pieces it was sending free up for other senders.
+    for (std::size_t sender = 0; sender < n_; ++sender) {
+      piece_from_[i * n_ + sender] = kNoPiece;
+    }
+    for (std::size_t receiver = 0; receiver < n_; ++receiver) {
+      release_assignment(receiver, i);
+    }
+    // The rejoined peer is a stranger: no receipts, streaks, or backoff
+    // state survive in either direction.
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::size_t row = i * n_ + j;
+      const std::size_t col = j * n_ + i;
+      recv_cur_[row] = recv_cur_[col] = 0.0;
+      recv_prev_[row] = recv_prev_[col] = 0.0;
+      streak_[row] = streak_[col] = 0;
+      last_progress_[row] = last_progress_[col] = 0;
+      blocked_until_[row] = blocked_until_[col] = 0;
+      backoff_[row] = backoff_[col] = plan_.retry_backoff_ticks;
+    }
+    unchoked_[i].clear();
+    optimistic_[i] = kNoPeer;
+    active_[i] = 0;
+    crashed_until_[i] = static_cast<std::int64_t>(tick + crash.downtime);
+  }
+
+  void take_seeder_down() {
+    seeder_out_ = true;
+    active_[0] = 0;
+    for (std::size_t p = 0; p < pieces_; ++p) --availability_[p];
+    for (std::size_t receiver = 0; receiver < n_; ++receiver) {
+      release_assignment(receiver, 0);
+    }
+    unchoked_[0].clear();
+  }
+
+  void restore_seeder(std::size_t tick) {
+    seeder_out_ = false;
+    active_[0] = 1;
+    for (std::size_t p = 0; p < pieces_; ++p) ++availability_[p];
+    awaiting_recovery_ = true;
+    recovery_start_ = tick;
+  }
+
+  /// Abandons in-flight pieces that made no progress for the timeout window
+  /// and puts the (receiver, sender) pair in exponential backoff.
+  void expire_timeouts(std::size_t tick) {
+    for (std::size_t pair = 0; pair < n_ * n_; ++pair) {
+      if (piece_from_[pair] == kNoPiece) continue;
+      if (tick - last_progress_[pair] < plan_.piece_timeout_ticks) continue;
+      const std::size_t receiver = pair / n_;
+      const std::size_t sender = pair % n_;
+      release_assignment(receiver, sender);
+      ++stats_.retries_issued;
+      blocked_until_[pair] = tick + backoff_[pair];
+      backoff_[pair] = std::min(backoff_[pair] * 2, plan_.max_backoff_ticks);
+    }
+  }
+
+  [[nodiscard]] bool any_active_incomplete() const {
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (active_[i] && !is_complete(i)) return true;
+    }
+    return false;
   }
 
   [[nodiscard]] SwarmTick snapshot() const {
@@ -352,7 +512,7 @@ class SwarmEngine {
       targets_.clear();
       auto consider = [&](std::size_t receiver) {
         if (!active_[receiver] || is_complete(receiver)) return;
-        if (ensure_assignment(receiver, sender)) {
+        if (ensure_assignment(receiver, sender, tick)) {
           targets_.push_back(static_cast<std::uint32_t>(receiver));
         }
       };
@@ -372,9 +532,14 @@ class SwarmEngine {
 
   /// Guarantees an in-flight piece from sender to receiver, choosing the
   /// rarest assignable piece (random tie-break). Returns false when nothing
-  /// is assignable.
-  bool ensure_assignment(std::size_t receiver, std::size_t sender) {
+  /// is assignable or the pair is serving a timeout backoff.
+  bool ensure_assignment(std::size_t receiver, std::size_t sender,
+                         std::size_t tick) {
     if (piece_from_[receiver * n_ + sender] != kNoPiece) return true;
+    if (plan_.piece_timeout_ticks > 0 &&
+        tick < blocked_until_[receiver * n_ + sender]) {
+      return false;
+    }
     std::size_t best = pieces_;
     std::uint32_t best_availability = 0;
     std::size_t tie_count = 0;
@@ -395,15 +560,33 @@ class SwarmEngine {
     (void)tie_count;
     claimed_[receiver * pieces_ + best] = 1;
     piece_from_[receiver * n_ + sender] = static_cast<std::int32_t>(best);
+    if (plan_.piece_timeout_ticks > 0) {
+      last_progress_[receiver * n_ + sender] = tick;
+    }
     return true;
   }
 
   void deliver(std::size_t sender, std::size_t receiver, double rate_kbps,
                std::size_t tick) {
+    // Message loss eats this tick's delivery on the link: the bytes
+    // evaporate, crediting neither side and advancing no piece.
+    if (plan_.message_loss > 0.0 && fault_rng_.chance(plan_.message_loss)) {
+      ++stats_.messages_lost;
+      stats_.lost_kb += rate_kbps;
+      return;
+    }
+    if (sender == 0 && awaiting_recovery_) {
+      recovery_total_ += static_cast<double>(tick - recovery_start_);
+      ++recoveries_;
+      awaiting_recovery_ = false;
+    }
     uploaded_[sender] += rate_kbps;
     downloaded_[receiver] += rate_kbps;
     tick_transferred_ += rate_kbps;
     recv_cur_[receiver * n_ + sender] += rate_kbps;
+    if (plan_.piece_timeout_ticks > 0) {
+      last_progress_[receiver * n_ + sender] = tick;
+    }
     const auto piece =
         static_cast<std::size_t>(piece_from_[receiver * n_ + sender]);
     double& done = bytes_done_[receiver * pieces_ + piece];
@@ -415,6 +598,8 @@ class SwarmEngine {
     ++availability_[piece];
     piece_from_[receiver * n_ + sender] = kNoPiece;
     done = 0.0;
+    // A completed piece proves the link healthy again.
+    backoff_[receiver * n_ + sender] = plan_.retry_backoff_ticks;
 
     if (is_complete(receiver)) {
       completion_tick_[receiver] = static_cast<std::int64_t>(tick) + 1;
@@ -440,9 +625,11 @@ class SwarmEngine {
   }
 
   const SwarmConfig& config_;
+  const fault::FaultPlan& plan_;
   const std::size_t n_;
   const std::size_t pieces_;
   util::Rng rng_;
+  util::Rng fault_rng_;
 
   std::vector<ClientVariant> variant_;
   std::vector<double> capacity_;
@@ -465,6 +652,20 @@ class SwarmEngine {
   double tick_transferred_ = 0.0;
   std::size_t seeder_rr_ = 0;
 
+  // Fault state.
+  std::vector<std::int64_t> crashed_until_;   // rejoin tick; -1 = not crashed
+  std::vector<std::size_t> last_progress_;    // [receiver * n + sender]
+  std::vector<std::size_t> blocked_until_;    // [receiver * n + sender]
+  std::vector<std::size_t> backoff_;          // [receiver * n + sender]
+  std::vector<fault::CrashEvent> crash_schedule_;  // sorted by tick
+  std::size_t next_crash_ = 0;
+  bool seeder_out_ = false;
+  bool awaiting_recovery_ = false;
+  std::size_t recovery_start_ = 0;
+  double recovery_total_ = 0.0;
+  std::size_t recoveries_ = 0;
+  FaultStats stats_;
+
   // Scratch.
   std::vector<std::uint32_t> candidates_;
   std::vector<std::uint32_t> scratch_;
@@ -486,11 +687,7 @@ SwarmResult run_swarm(const std::vector<ClientVariant>& leechers,
       throw std::invalid_argument("run_swarm: capacities must be positive");
     }
   }
-  if (config.piece_count == 0 || config.piece_size_kb <= 0.0 ||
-      config.rechoke_interval == 0 || config.optimistic_period == 0 ||
-      config.regular_slots == 0 || config.seeder_slots == 0) {
-    throw std::invalid_argument("run_swarm: degenerate configuration");
-  }
+  config.validate(leechers.size());
   SwarmEngine engine(leechers, capacities, config);
   return engine.run();
 }

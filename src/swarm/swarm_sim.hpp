@@ -15,7 +15,12 @@
 //    unchoked peers that are actively downloading from it; receivers pick
 //    pieces rarest-first, one in-flight piece per (receiver, sender) pair;
 //  * leechers depart the moment they complete, as in the paper's setup
-//    ("peers leave upon completing their download").
+//    ("peers leave upon completing their download");
+//  * optional fault injection driven by a deterministic FaultPlan (see
+//    fault/fault_plan.hpp): per-link message loss, in-flight piece timeouts
+//    with exponential-backoff retry, leecher crash/rejoin, and seeder outage
+//    windows. An empty plan leaves the run bitwise-identical to the
+//    fault-free baseline.
 //
 // One tick is one second; download times are reported in seconds.
 #pragma once
@@ -23,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "swarm/client.hpp"
 
 namespace dsa::swarm {
@@ -46,6 +52,14 @@ struct SwarmConfig {
   std::size_t arrival_interval = 0;
   /// When true, SwarmResult::series records per-tick swarm health.
   bool record_series = false;
+  /// Fault schedule replayed during the run; default-constructed = no
+  /// faults. Validated (together with the fields above) on entry to
+  /// run_swarm.
+  fault::FaultPlan faults;
+
+  /// Rejects degenerate configurations with std::invalid_argument naming
+  /// the offending field.
+  void validate(std::size_t leecher_count) const;
 };
 
 /// One per-tick snapshot of swarm health (record_series only).
@@ -54,6 +68,21 @@ struct SwarmTick {
   std::uint32_t completed_leechers = 0;
   double transferred_kb = 0.0;          // bytes moved this tick
   double mean_progress = 0.0;           // mean piece completion in [0, 1]
+};
+
+/// Degradation instrumentation accumulated over one run; all zeros (and a
+/// negative recovery time) when the fault plan is empty.
+struct FaultStats {
+  std::uint64_t messages_lost = 0;   // per-tick deliveries eaten by loss
+  double lost_kb = 0.0;              // bytes those deliveries carried
+  std::uint64_t retries_issued = 0;  // in-flight pieces abandoned on timeout
+  std::uint64_t crashes = 0;         // crash events that actually struck
+  std::uint64_t pieces_wiped = 0;    // pieces erased by those crashes
+  std::uint64_t stall_ticks = 0;     // ticks with active leechers but no bytes
+  std::uint64_t seeder_down_ticks = 0;
+  /// Mean ticks from a seeder-outage end until the seeder uploads again
+  /// (re-unchoke latency); negative when no outage ended during the run.
+  double mean_seeder_recovery_ticks = -1.0;
 };
 
 /// Per-leecher outcome of one swarm run.
@@ -70,6 +99,9 @@ struct SwarmResult {
 
   /// Per-tick swarm health; empty unless SwarmConfig::record_series.
   std::vector<SwarmTick> series;
+
+  /// Degradation instrumentation (see FaultStats).
+  FaultStats fault_stats;
 
   /// Mean completion time over leechers [begin, end); unfinished leechers
   /// count as the run's duration cap. Throws std::invalid_argument on a bad

@@ -1,13 +1,44 @@
 #include "swarming/pra_dataset.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "swarming/dsa_model.hpp"
 #include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsa::swarming {
+
+namespace {
+
+/// Hash of every option that affects the sweep's numbers. Baked into the
+/// checkpoint filename so a resume never continues from incompatible data.
+std::uint64_t options_fingerprint(const PraDatasetOptions& options) {
+  std::uint64_t h = util::hash64(options.pra.seed ^ 0x50a5c4ec8f21d3b7ULL);
+  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.population));
+  h = util::hash64(h ^
+                   static_cast<std::uint64_t>(options.pra.performance_runs));
+  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.encounter_runs));
+  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.opponent_sample));
+  h = util::hash64(h ^ static_cast<std::uint64_t>(std::llround(
+                           options.pra.minority_fraction * 1e6)));
+  h = util::hash64(h ^ static_cast<std::uint64_t>(options.rounds));
+  return h;
+}
+
+/// Checkpoint values feed back into the sweep, so they must round-trip
+/// doubles exactly; the 10-digit display precision of util::format_number
+/// would make a resumed dataset differ from a fresh one in the last ulps.
+std::string exact_number(double value) {
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace
 
 PraDatasetOptions PraDatasetOptions::from_environment() {
   PraDatasetOptions options;
@@ -27,7 +58,62 @@ PraDatasetOptions PraDatasetOptions::from_environment() {
   options.pra.seed =
       static_cast<std::uint64_t>(util::env_int("DSA_SEED", 2011));
   options.path = util::env_string("DSA_RESULTS", "results/pra_results.csv");
+  options.checkpoint_interval =
+      static_cast<std::size_t>(util::env_int("DSA_CHECKPOINT", 256));
   return options;
+}
+
+std::filesystem::path pra_checkpoint_path(const PraDatasetOptions& options) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".partial-%016llx",
+                static_cast<unsigned long long>(options_fingerprint(options)));
+  std::filesystem::path path = options.path;
+  path += suffix;
+  return path;
+}
+
+void save_pra_checkpoint(const std::vector<PraRecord>& records,
+                         std::size_t count,
+                         const std::filesystem::path& path) {
+  util::CsvTable table(
+      {"protocol", "raw_performance", "robustness", "aggressiveness"});
+  count = std::min(count, records.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    table.add_row({
+        std::to_string(records[i].protocol),
+        exact_number(records[i].raw_performance),
+        exact_number(records[i].robustness),
+        exact_number(records[i].aggressiveness),
+    });
+  }
+  table.save(path);
+}
+
+std::vector<PraRecord> load_pra_checkpoint(const std::filesystem::path& path) {
+  std::vector<PraRecord> records;
+  if (!std::filesystem::exists(path)) return records;
+  try {
+    const util::CsvTable table = util::CsvTable::load(path);
+    records.reserve(table.row_count());
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      PraRecord rec;
+      rec.protocol =
+          static_cast<std::uint32_t>(table.number_at(r, "protocol"));
+      if (rec.protocol != r || rec.protocol >= kProtocolCount) {
+        // Not a contiguous protocol prefix — treat as corrupt.
+        records.clear();
+        return records;
+      }
+      rec.spec = decode_protocol(rec.protocol);
+      rec.raw_performance = table.number_at(r, "raw_performance");
+      rec.robustness = table.number_at(r, "robustness");
+      rec.aggressiveness = table.number_at(r, "aggressiveness");
+      records.push_back(rec);
+    }
+  } catch (const std::exception&) {
+    records.clear();
+  }
+  return records;
 }
 
 std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
@@ -35,41 +121,61 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
   SimulationConfig sim;
   sim.rounds = options.rounds;
   SwarmingModel model(sim, BandwidthDistribution::piatek());
+  core::PraEngine engine(model, options.pra);
 
-  core::PraConfig pra = options.pra;
-  if (verbose) {
-    pra.progress = [](std::size_t done, std::size_t total) {
-      if (done % 256 == 0 || done == total) {
-        std::fprintf(stderr, "  pra: %zu/%zu protocols\n", done, total);
-      }
-    };
-  }
-
-  core::PraEngine engine(model, pra);
-  if (verbose) std::fprintf(stderr, "PRA pass 1/3: performance\n");
-  core::PraScores scores;
-  scores.raw_performance = engine.raw_performance();
-  const double best = *std::max_element(scores.raw_performance.begin(),
-                                        scores.raw_performance.end());
-  scores.performance.resize(scores.raw_performance.size());
-  for (std::size_t i = 0; i < scores.performance.size(); ++i) {
-    scores.performance[i] =
-        best > 0.0 ? scores.raw_performance[i] / best : 0.0;
-  }
-  if (verbose) std::fprintf(stderr, "PRA pass 2/3: robustness (50-50)\n");
-  scores.robustness = engine.tournament(0.5);
-  if (verbose) std::fprintf(stderr, "PRA pass 3/3: aggressiveness (10-90)\n");
-  scores.aggressiveness = engine.tournament(pra.minority_fraction);
-
+  // The sweep runs protocol-by-protocol (all three metrics per protocol)
+  // instead of metric-by-metric so a checkpoint prefix is self-contained.
+  // Per-item seeds depend only on (seed, protocol, run), so the order change
+  // does not change any number.
   std::vector<PraRecord> records(kProtocolCount);
-  for (std::uint32_t id = 0; id < kProtocolCount; ++id) {
-    PraRecord& rec = records[id];
-    rec.protocol = id;
-    rec.spec = decode_protocol(id);
-    rec.raw_performance = scores.raw_performance[id];
-    rec.performance = scores.performance[id];
-    rec.robustness = scores.robustness[id];
-    rec.aggressiveness = scores.aggressiveness[id];
+  const std::filesystem::path checkpoint = pra_checkpoint_path(options);
+  std::size_t first_missing = 0;
+  if (options.checkpoint_interval > 0) {
+    const std::vector<PraRecord> resumed = load_pra_checkpoint(checkpoint);
+    for (const PraRecord& rec : resumed) records[rec.protocol] = rec;
+    first_missing = resumed.size();
+    if (verbose && first_missing > 0) {
+      std::fprintf(stderr, "resuming PRA sweep from checkpoint %s (%zu/%u)\n",
+                   checkpoint.string().c_str(), first_missing, kProtocolCount);
+    }
+  }
+
+  util::ThreadPool pool(options.pra.threads == 0
+                            ? util::ThreadPool::default_thread_count()
+                            : options.pra.threads);
+  const std::size_t chunk_size = options.checkpoint_interval > 0
+                                     ? options.checkpoint_interval
+                                     : kProtocolCount;
+  for (std::size_t begin = first_missing; begin < kProtocolCount;
+       begin += chunk_size) {
+    const std::size_t end = std::min<std::size_t>(begin + chunk_size,
+                                                  kProtocolCount);
+    pool.parallel_for(end - begin, [&](std::size_t i) {
+      const auto id = static_cast<std::uint32_t>(begin + i);
+      PraRecord& rec = records[id];
+      rec.protocol = id;
+      rec.spec = decode_protocol(id);
+      rec.raw_performance = engine.raw_performance_of(id);
+      rec.robustness = engine.win_rate_of(id, 0.5);
+      rec.aggressiveness =
+          engine.win_rate_of(id, options.pra.minority_fraction);
+    });
+    if (options.checkpoint_interval > 0 && end < kProtocolCount) {
+      save_pra_checkpoint(records, end, checkpoint);
+    }
+    if (verbose) {
+      std::fprintf(stderr, "  pra: %zu/%u protocols\n", end, kProtocolCount);
+    }
+  }
+
+  // Normalize performance against the global best only once every raw value
+  // exists (a checkpoint prefix has no meaningful normalization).
+  double best = 0.0;
+  for (const PraRecord& rec : records) {
+    best = std::max(best, rec.raw_performance);
+  }
+  for (PraRecord& rec : records) {
+    rec.performance = best > 0.0 ? rec.raw_performance / best : 0.0;
   }
   return records;
 }
@@ -132,6 +238,9 @@ std::vector<PraRecord> load_or_compute_pra_dataset(
   }
   std::vector<PraRecord> records = compute_pra_dataset(options, verbose);
   save_pra_dataset(records, options.path);
+  // The finished dataset supersedes any partial checkpoint.
+  std::error_code ignored;
+  std::filesystem::remove(pra_checkpoint_path(options), ignored);
   if (verbose) {
     std::fprintf(stderr, "saved PRA dataset: %s\n",
                  options.path.string().c_str());

@@ -13,6 +13,14 @@
 //   DSA_SEED            master seed                 (default 2011)
 //   DSA_FULL=1          shorthand for the paper-fidelity values above
 //   DSA_RESULTS         dataset path (default results/pra_results.csv)
+//   DSA_CHECKPOINT      protocols per checkpoint chunk (default 256; 0 off)
+//
+// The sweep checkpoints its partial results every DSA_CHECKPOINT protocols
+// to `<path>.partial-<fingerprint>` (the fingerprint encodes every scale
+// knob, so a resumed run never mixes incompatible numbers) and resumes from
+// the checkpoint after a crash or kill. Per-protocol seeds depend only on
+// (seed, protocol, run), so a resumed sweep produces bitwise-identical
+// results to an uninterrupted one.
 #pragma once
 
 #include <filesystem>
@@ -41,10 +49,30 @@ struct PraDatasetOptions {
   core::PraConfig pra;
   std::size_t rounds = 120;
   std::filesystem::path path = "results/pra_results.csv";
+  /// Protocols computed between checkpoint saves; 0 disables checkpointing.
+  std::size_t checkpoint_interval = 256;
 
   /// Builds options from the environment (see header comment).
   static PraDatasetOptions from_environment();
 };
+
+/// Where the partial-results checkpoint of a sweep with these options lives:
+/// `<path>.partial-<fingerprint>`, the fingerprint hashing every knob that
+/// affects the numbers (seed, rounds, population, run counts, sampling,
+/// minority fraction).
+std::filesystem::path pra_checkpoint_path(const PraDatasetOptions& options);
+
+/// Persists the first `count` records of a sweep (atomically, via
+/// CsvTable::save). Only raw metrics are stored; normalization happens once
+/// the sweep finishes.
+void save_pra_checkpoint(const std::vector<PraRecord>& records,
+                         std::size_t count, const std::filesystem::path& path);
+
+/// Loads a checkpoint written by save_pra_checkpoint. Returns the records in
+/// protocol order; an absent, unreadable, or malformed checkpoint (rows not
+/// a contiguous protocol prefix) yields an empty vector — the sweep then
+/// just starts over.
+std::vector<PraRecord> load_pra_checkpoint(const std::filesystem::path& path);
 
 /// Runs the full PRA quantification over all 3270 protocols with the given
 /// options, printing coarse progress to stderr when `verbose`.

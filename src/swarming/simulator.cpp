@@ -6,6 +6,37 @@
 
 namespace dsa::swarming {
 
+void SimulationConfig::validate() const {
+  if (rounds == 0) {
+    throw std::invalid_argument("SimulationConfig.rounds: must be > 0");
+  }
+  if (!(churn_rate >= 0.0 && churn_rate <= 1.0)) {
+    throw std::invalid_argument(
+        "SimulationConfig.churn_rate: must be in [0, 1]");
+  }
+  if (!(aspiration_smoothing >= 0.0 && aspiration_smoothing <= 1.0)) {
+    throw std::invalid_argument(
+        "SimulationConfig.aspiration_smoothing: must be in [0, 1]");
+  }
+  if (!(stranger_efficiency >= 0.0 && stranger_efficiency <= 1.0)) {
+    throw std::invalid_argument(
+        "SimulationConfig.stranger_efficiency: must be in [0, 1]");
+  }
+  if (!(intake_factor >= 0.0)) {
+    throw std::invalid_argument(
+        "SimulationConfig.intake_factor: must be >= 0");
+  }
+  for (const fault::FaultProcess& process : faults) process.validate();
+}
+
+bool SimulationConfig::needs_churn_source() const noexcept {
+  if (churn_rate > 0.0) return true;
+  for (const fault::FaultProcess& process : faults) {
+    if (process.replaces_peers()) return true;
+  }
+  return false;
+}
+
 double SimulationOutcome::group_mean(std::size_t begin, std::size_t end) const {
   if (begin >= end || end > peer_throughput.size()) {
     throw std::invalid_argument("SimulationOutcome::group_mean: bad range");
@@ -58,7 +89,7 @@ class Engine {
       outcome.round_throughput.reserve(config_.rounds);
     }
     for (std::size_t round = 0; round < config_.rounds; ++round) {
-      step();
+      step(round);
       if (config_.record_round_series) {
         double round_mean = 0.0;
         for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
@@ -71,11 +102,12 @@ class Engine {
       outcome.peer_throughput[i] =
           total_received_[i] / static_cast<double>(config_.rounds);
     }
+    outcome.peers_replaced = peers_replaced_;
     return outcome;
   }
 
  private:
-  void step() {
+  void step(std::size_t round) {
     std::fill(round_received_.begin(), round_received_.end(), 0.0);
     std::fill(received_next_.begin(), received_next_.end(), 0.0);
     std::fill(interacted_next_.begin(), interacted_next_.end(), 0);
@@ -87,7 +119,7 @@ class Engine {
 
     for (std::size_t me = 0; me < n_; ++me) act(me);
 
-    finish_round();
+    finish_round(round);
   }
 
   /// Peer `me` selects partners/strangers and allocates its capacity,
@@ -297,7 +329,7 @@ class Engine {
     round_received_[to] += amount;
   }
 
-  void finish_round() {
+  void finish_round(std::size_t round) {
     // Receiver intake cap: a peer absorbs at most intake_factor * capacity
     // per round; excess inbound is lost proportionally across senders.
     if (config_.intake_factor > 0.0) {
@@ -336,15 +368,85 @@ class Engine {
       total_received_[i] += round_received_[i];
     }
 
-    // Churn: replace peers with fresh same-protocol ones.
+    // Churn: replace peers with fresh same-protocol ones. The legacy knob
+    // runs first (preserving the historical RNG draw order), then the
+    // scheduled fault processes in list order.
     if (config_.churn_rate > 0.0) {
       for (std::size_t i = 0; i < n_; ++i) {
         if (rng_.chance(config_.churn_rate)) replace_peer(i);
       }
     }
+    for (const fault::FaultProcess& process : config_.faults) {
+      apply_fault(process, round);
+    }
+  }
+
+  void apply_fault(const fault::FaultProcess& process, std::size_t round) {
+    using fault::FaultProcessKind;
+    switch (process.kind) {
+      case FaultProcessKind::kMemorylessChurn: {
+        if (process.rate <= 0.0) break;
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (rng_.chance(process.rate)) replace_peer(i);
+        }
+        break;
+      }
+      case FaultProcessKind::kBurstChurn: {
+        // The burst strikes at the end of rounds period-1, 2*period-1, ...
+        if ((round + 1) % process.period != 0) break;
+        const auto hit = static_cast<std::size_t>(std::lround(
+            process.fraction * static_cast<double>(n_)));
+        if (hit == 0) break;
+        victim_scratch_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+          victim_scratch_[i] = static_cast<std::uint32_t>(i);
+        }
+        for (std::size_t i = 0; i < hit; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng_.below(n_ - i));
+          std::swap(victim_scratch_[i], victim_scratch_[j]);
+          replace_peer(victim_scratch_[i]);
+        }
+        break;
+      }
+      case FaultProcessKind::kCapacityDegradation: {
+        if (round != process.round) break;
+        for (std::size_t i = 0; i < n_; ++i) {
+          capacities_[i] *= process.factor;
+        }
+        break;
+      }
+      case FaultProcessKind::kTargetedFailure: {
+        if (round != process.round) break;
+        const auto hit = static_cast<std::size_t>(std::lround(
+            process.fraction * static_cast<double>(n_)));
+        if (hit == 0) break;
+        // Take out exactly the top-capacity class (ties break on index so
+        // replays are deterministic).
+        victim_scratch_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+          victim_scratch_[i] = static_cast<std::uint32_t>(i);
+        }
+        std::partial_sort(victim_scratch_.begin(),
+                          victim_scratch_.begin() +
+                              static_cast<std::ptrdiff_t>(std::min(hit, n_)),
+                          victim_scratch_.end(),
+                          [&](std::uint32_t a, std::uint32_t b) {
+                            if (capacities_[a] != capacities_[b]) {
+                              return capacities_[a] > capacities_[b];
+                            }
+                            return a < b;
+                          });
+        for (std::size_t i = 0; i < std::min(hit, n_); ++i) {
+          replace_peer(victim_scratch_[i]);
+        }
+        break;
+      }
+    }
   }
 
   void replace_peer(std::size_t i) {
+    ++peers_replaced_;
     capacities_[i] = churn_source_->sample(rng_);
     aspiration_[i] = capacities_[i];
     for (std::size_t j = 0; j < n_; ++j) {
@@ -387,6 +489,9 @@ class Engine {
   std::vector<std::uint32_t> eligible_strangers_;
   std::vector<std::uint8_t> is_candidate_;
   std::vector<std::uint32_t> tie_priority_;
+  std::vector<std::uint32_t> victim_scratch_;
+
+  std::size_t peers_replaced_ = 0;
 };
 
 }  // namespace
@@ -400,12 +505,11 @@ SimulationOutcome simulate_rounds(const std::vector<ProtocolSpec>& protocols,
         "simulate_rounds: protocols/capacities must be equal-length and "
         "non-empty");
   }
-  if (config.rounds == 0) {
-    throw std::invalid_argument("simulate_rounds: rounds must be positive");
-  }
-  if (config.churn_rate > 0.0 && churn_source == nullptr) {
+  config.validate();
+  if (config.needs_churn_source() && churn_source == nullptr) {
     throw std::invalid_argument(
-        "simulate_rounds: churn requires a bandwidth distribution");
+        "simulate_rounds: replacing peers (churn_rate or a fault process) "
+        "requires a bandwidth distribution");
   }
   Engine engine(protocols, capacities, config, churn_source);
   return engine.run();

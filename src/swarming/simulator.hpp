@@ -32,13 +32,18 @@
 // ("throughput of the population").
 //
 // Churn (studied in Sec. 4.4) replaces a peer with a fresh same-protocol
-// peer (new capacity, empty history) with a per-round probability.
+// peer (new capacity, empty history) with a per-round probability. The
+// legacy churn_rate knob is one instance of the pluggable fault processes
+// in fault/fault_process.hpp — burst churn, capacity degradation, and
+// targeted failure of the top-capacity class plug in the same way via
+// SimulationConfig::faults.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "fault/fault_process.hpp"
 #include "swarming/bandwidth.hpp"
 #include "swarming/protocol.hpp"
 #include "util/rng.hpp"
@@ -80,6 +85,19 @@ struct SimulationConfig {
   /// When true, SimulationOutcome::round_throughput records the population
   /// mean received bandwidth of every round (convergence analysis).
   bool record_round_series = false;
+  /// Fault processes applied in order at the end of every round, after the
+  /// legacy churn_rate (kept for backward compatibility — it is equivalent
+  /// to a leading memoryless_churn process). Any process that replaces
+  /// peers requires a churn_source.
+  std::vector<fault::FaultProcess> faults;
+
+  /// Rejects degenerate configurations with std::invalid_argument naming
+  /// the offending field.
+  void validate() const;
+
+  /// True when the run replaces peers (legacy churn or a fault process) and
+  /// therefore needs a bandwidth distribution for fresh capacities.
+  [[nodiscard]] bool needs_churn_source() const noexcept;
 };
 
 /// Result of one run.
@@ -90,6 +108,9 @@ struct SimulationOutcome {
   /// Population mean received bandwidth per round (only filled when
   /// SimulationConfig::record_round_series is set).
   std::vector<double> round_throughput;
+
+  /// Peers replaced over the run by churn and fault processes.
+  std::size_t peers_replaced = 0;
 
   /// Mean throughput over peers [begin, end).
   [[nodiscard]] double group_mean(std::size_t begin, std::size_t end) const;
@@ -102,8 +123,9 @@ struct SimulationOutcome {
 ///
 /// `protocols[i]` and `capacities[i]` describe peer i; the two vectors must
 /// be equal-length and non-empty (throws std::invalid_argument otherwise).
-/// `churn_source` must be provided when config.churn_rate > 0 (fresh peers
-/// draw their capacity from it).
+/// `churn_source` must be provided whenever the config replaces peers —
+/// churn_rate > 0 or any peer-replacing fault process (fresh peers draw
+/// their capacity from it).
 SimulationOutcome simulate_rounds(
     const std::vector<ProtocolSpec>& protocols,
     const std::vector<double>& capacities, const SimulationConfig& config,

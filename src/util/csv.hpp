@@ -40,7 +40,10 @@ class CsvTable {
                                       const std::string& col) const;
   [[nodiscard]] double number_at(std::size_t row, const std::string& col) const;
 
-  /// Serializes to `path`, creating parent directories. Throws on I/O error.
+  /// Serializes to `path`, creating parent directories. The write is
+  /// atomic: the table lands in `<path>.tmp` first and is renamed into
+  /// place, so a crash mid-write never leaves a truncated file at `path`.
+  /// Throws on I/O error (the temporary is removed on failure).
   void save(const std::filesystem::path& path) const;
 
   /// Parses a file previously written by save(). Throws on I/O or format

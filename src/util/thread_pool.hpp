@@ -7,10 +7,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dsa::util {
@@ -50,10 +52,17 @@ class ThreadPool {
     work_available_.notify_one();
   }
 
-  /// Blocks until every submitted job has finished executing.
+  /// Blocks until every submitted job has finished executing. If any job
+  /// threw, rethrows the first captured exception (later ones are dropped)
+  /// and clears it so the pool stays usable.
   void wait_idle() {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
   }
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
@@ -67,7 +76,9 @@ class ThreadPool {
   }
 
   /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
-  /// fn must be safe to invoke concurrently for distinct indices.
+  /// fn must be safe to invoke concurrently for distinct indices. If any
+  /// invocation throws, the first exception is rethrown here after the
+  /// remaining lanes drain (in-flight indices still run to completion).
   template <typename Fn>
   void parallel_for(std::size_t count, Fn&& fn) {
     if (count == 0) return;
@@ -101,9 +112,15 @@ class ThreadPool {
         job = std::move(jobs_.front());
         jobs_.pop();
       }
-      job();
+      std::exception_ptr error;
+      try {
+        job();
+      } catch (...) {
+        error = std::current_exception();
+      }
       {
         std::lock_guard lock(mutex_);
+        if (error && !first_error_) first_error_ = error;
         if (--pending_ == 0) idle_.notify_all();
       }
     }
@@ -115,6 +132,7 @@ class ThreadPool {
   std::queue<std::function<void()>> jobs_;
   std::size_t pending_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,133 @@
+// Crash-tolerant PRA sweep machinery: per-protocol engine methods must
+// reproduce the batch passes exactly (the property that makes resuming
+// sound), and the checkpoint helpers must fingerprint options, round-trip
+// partial results, and reject anything that is not a clean protocol prefix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pra.hpp"
+#include "swarming/pra_dataset.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dsa;
+
+/// Seed-sensitive toy domain: utilities depend on (protocol, seed), so any
+/// change in per-item seed derivation shows up as a numeric mismatch.
+class SeededModel final : public core::EncounterModel {
+ public:
+  explicit SeededModel(std::uint32_t protocols) : protocols_(protocols) {}
+
+  [[nodiscard]] std::uint32_t protocol_count() const override {
+    return protocols_;
+  }
+  [[nodiscard]] std::string protocol_name(std::uint32_t id) const override {
+    return "seeded-" + std::to_string(id);
+  }
+  [[nodiscard]] double homogeneous_utility(std::uint32_t p, std::size_t,
+                                           std::uint64_t seed) const override {
+    return static_cast<double>(util::hash64(seed ^ (p * 2654435761ULL)) %
+                               10000) /
+           100.0;
+  }
+  [[nodiscard]] std::pair<double, double> mixed_utilities(
+      std::uint32_t a, std::uint32_t b, std::size_t count_a, std::size_t,
+      std::uint64_t seed) const override {
+    const std::uint64_t mix =
+        util::hash64(seed ^ (static_cast<std::uint64_t>(a) << 32) ^ b ^
+                     count_a);
+    return {static_cast<double>(mix % 997), static_cast<double>(mix % 991)};
+  }
+
+ private:
+  std::uint32_t protocols_;
+};
+
+TEST(PraPerProtocol, MatchesBatchPassesExactly) {
+  SeededModel model(7);
+  core::PraConfig config;
+  config.population = 20;
+  config.performance_runs = 3;
+  config.encounter_runs = 2;
+  config.seed = 99;
+  config.threads = 2;
+  const core::PraEngine engine(model, config);
+
+  const std::vector<double> raw = engine.raw_performance();
+  const std::vector<double> robustness = engine.tournament(0.5);
+  const std::vector<double> aggressiveness = engine.tournament(0.1);
+  for (std::uint32_t p = 0; p < model.protocol_count(); ++p) {
+    EXPECT_DOUBLE_EQ(raw[p], engine.raw_performance_of(p)) << p;
+    EXPECT_DOUBLE_EQ(robustness[p], engine.win_rate_of(p, 0.5)) << p;
+    EXPECT_DOUBLE_EQ(aggressiveness[p], engine.win_rate_of(p, 0.1)) << p;
+  }
+}
+
+TEST(PraCheckpoint, PathFingerprintsTheOptions) {
+  swarming::PraDatasetOptions a;
+  a.path = "results/pra_results.csv";
+  swarming::PraDatasetOptions b = a;
+  EXPECT_EQ(swarming::pra_checkpoint_path(a),
+            swarming::pra_checkpoint_path(b));
+  const std::string base = swarming::pra_checkpoint_path(a).string();
+  EXPECT_NE(base.find("results/pra_results.csv.partial-"), std::string::npos);
+
+  b.pra.seed = a.pra.seed + 1;
+  EXPECT_NE(swarming::pra_checkpoint_path(a), swarming::pra_checkpoint_path(b));
+  b = a;
+  b.rounds = a.rounds + 1;
+  EXPECT_NE(swarming::pra_checkpoint_path(a), swarming::pra_checkpoint_path(b));
+  b = a;
+  b.pra.encounter_runs = a.pra.encounter_runs + 1;
+  EXPECT_NE(swarming::pra_checkpoint_path(a), swarming::pra_checkpoint_path(b));
+  // The checkpoint interval is pacing, not physics: same fingerprint.
+  b = a;
+  b.checkpoint_interval = a.checkpoint_interval * 2;
+  EXPECT_EQ(swarming::pra_checkpoint_path(a), swarming::pra_checkpoint_path(b));
+}
+
+TEST(PraCheckpoint, SaveLoadRoundTripsAPrefix) {
+  std::vector<swarming::PraRecord> records(5);
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    records[i].protocol = i;
+    records[i].raw_performance = 10.0 + i;
+    records[i].robustness = 0.1 * i;
+    records[i].aggressiveness = 0.05 * i;
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dsa_checkpoint_test.partial-feed";
+  swarming::save_pra_checkpoint(records, 3, path);
+  const auto loaded = swarming::load_pra_checkpoint(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded[i].protocol, i);
+    EXPECT_DOUBLE_EQ(loaded[i].raw_performance, 10.0 + i);
+    EXPECT_DOUBLE_EQ(loaded[i].robustness, 0.1 * i);
+    EXPECT_DOUBLE_EQ(loaded[i].aggressiveness, 0.05 * i);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PraCheckpoint, MissingOrMalformedCheckpointYieldsEmpty) {
+  EXPECT_TRUE(
+      swarming::load_pra_checkpoint("/nonexistent/missing.partial").empty());
+
+  // Rows that are not a contiguous protocol prefix are treated as corrupt.
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dsa_checkpoint_gap.partial-feed";
+  util::CsvTable table(
+      {"protocol", "raw_performance", "robustness", "aggressiveness"});
+  table.add_row({"0", "1.0", "0.5", "0.5"});
+  table.add_row({"2", "1.0", "0.5", "0.5"});  // gap: protocol 1 missing
+  table.save(path);
+  EXPECT_TRUE(swarming::load_pra_checkpoint(path).empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace

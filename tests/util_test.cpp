@@ -146,6 +146,26 @@ TEST(CsvTable, RoundTripsThroughDisk) {
   std::filesystem::remove(path);
 }
 
+TEST(CsvTable, SaveIsAtomicNoTemporaryLeftBehind) {
+  CsvTable table({"k"});
+  table.add_row({"1"});
+  const auto path =
+      std::filesystem::temp_directory_path() / "dsa_csv_atomic_test.csv";
+  table.save(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  // Overwriting an existing file goes through the same rename and wins.
+  CsvTable bigger({"k"});
+  bigger.add_row({"1"});
+  bigger.add_row({"2"});
+  bigger.save(path);
+  EXPECT_EQ(CsvTable::load(path).row_count(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::filesystem::remove(path);
+}
+
 TEST(CsvTable, RejectsBadRows) {
   CsvTable table({"a", "b"});
   EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
@@ -245,6 +265,32 @@ TEST(ThreadPool, ZeroCountParallelForIsNoop) {
 
 TEST(ThreadPool, DefaultThreadCountPositive) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is cleared: the pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      ++ran;
+      if (i == 3) throw std::invalid_argument("index 3 exploded");
+    });
+    FAIL() << "parallel_for should have rethrown";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "index 3 exploded");
+  }
+  EXPECT_GT(ran.load(), 0);
 }
 
 // ------------------------------------------------------- TablePrinter ----

@@ -22,6 +22,7 @@
 #include "core/evolution.hpp"
 #include "core/pra.hpp"
 #include "core/subspace.hpp"
+#include "fault/fault_plan.hpp"
 #include "gametheory/expected_wins.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
@@ -53,6 +54,19 @@ commands:
 common flags: --rounds N --runs N --seed N --population N --fraction X
 protocol names: bt, birds, loyal, sorts, random, or a numeric id
 swarm client names: bt, birds, loyal, sorts, random
+
+swarm fault flags (Sec. 5 robustness):
+  --fault X        overall fault intensity in [0,1]; derives a deterministic
+                   schedule of message loss, leecher crashes, and a seeder
+                   outage (0 = fault-free, the default)
+  --loss P         override per-delivery message-loss probability
+  --timeout T      override in-flight piece timeout (ticks; retries with
+                   exponential backoff)
+  --crash-frac X   fraction of leechers crashed at full intensity (def 0.5)
+  --outage-frac X  seeder outage length at full intensity, as a fraction of
+                   the horizon (default 0.25)
+  --horizon T      ticks the fault schedule spans; keep it near the expected
+                   run length so faults actually strike (default 600)
 )");
   std::exit(2);
 }
@@ -219,21 +233,60 @@ int cmd_swarm(const util::CliArgs& args) {
   const double fraction = args.get_double("fraction", 0.5);
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+  const double fault = args.get_double("fault", 0.0);
+  const double loss = args.get_double("loss", -1.0);
+  const int timeout = static_cast<int>(args.get_int("timeout", -1));
+  const double crash_frac = args.get_double("crash-frac", 0.5);
+  const double outage_frac = args.get_double("outage-frac", 0.25);
+  const auto horizon =
+      static_cast<std::size_t>(args.get_int("horizon", 600));
   reject_unknown_flags(args);
   if (fraction <= 0.0 || fraction >= 1.0) usage("--fraction outside (0,1)");
+  if (fault < 0.0 || fault > 1.0) usage("--fault outside [0,1]");
 
   swarm::SwarmConfig config;
+  const bool faulty = fault > 0.0 || loss >= 0.0 || timeout >= 0;
   const auto count_a =
       std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(
                                   fraction * 50.0)),
                               1, 49);
   std::vector<double> times_a, times_b;
+  swarm::FaultStats totals;
+  double recovery_sum = 0.0;
+  std::size_t recovery_runs = 0;
+  std::size_t incomplete_runs = 0;
   for (std::size_t run = 0; run < runs; ++run) {
     config.seed = seed + run;
+    if (faulty) {
+      fault::FaultSpec spec;
+      spec.intensity = fault;
+      spec.crash_fraction = crash_frac;
+      spec.outage_fraction = outage_frac;
+      spec.seed = seed + run;
+      config.faults = fault::make_fault_plan(spec, 50, horizon);
+      if (loss >= 0.0) config.faults.message_loss = loss;
+      if (timeout >= 0) {
+        config.faults.piece_timeout_ticks =
+            static_cast<std::size_t>(timeout);
+      }
+    }
     const auto result = swarm::run_mixed_swarm(a, b, count_a, 50, config);
     const double cap = static_cast<double>(config.max_ticks);
     times_a.push_back(result.group_mean_time(0, count_a, cap));
     times_b.push_back(result.group_mean_time(count_a, 50, cap));
+    if (!result.all_completed) ++incomplete_runs;
+    const swarm::FaultStats& fs = result.fault_stats;
+    totals.messages_lost += fs.messages_lost;
+    totals.lost_kb += fs.lost_kb;
+    totals.retries_issued += fs.retries_issued;
+    totals.crashes += fs.crashes;
+    totals.pieces_wiped += fs.pieces_wiped;
+    totals.stall_ticks += fs.stall_ticks;
+    totals.seeder_down_ticks += fs.seeder_down_ticks;
+    if (fs.mean_seeder_recovery_ticks >= 0.0) {
+      recovery_sum += fs.mean_seeder_recovery_ticks;
+      ++recovery_runs;
+    }
   }
   std::printf("%-18s %zu leechers, avg download %.1f s (+/- %.1f)\n",
               to_string(a).c_str(), count_a, stats::mean(times_a),
@@ -241,6 +294,27 @@ int cmd_swarm(const util::CliArgs& args) {
   std::printf("%-18s %zu leechers, avg download %.1f s (+/- %.1f)\n",
               to_string(b).c_str(), 50 - count_a, stats::mean(times_b),
               stats::ci95_half_width(times_b));
+  if (faulty) {
+    std::printf("faults over %zu runs: %llu messages lost (%.0f KB), "
+                "%llu retries, %llu crashes (%llu pieces wiped)\n",
+                runs, static_cast<unsigned long long>(totals.messages_lost),
+                totals.lost_kb,
+                static_cast<unsigned long long>(totals.retries_issued),
+                static_cast<unsigned long long>(totals.crashes),
+                static_cast<unsigned long long>(totals.pieces_wiped));
+    std::printf("  %llu stall ticks, %llu seeder-down ticks",
+                static_cast<unsigned long long>(totals.stall_ticks),
+                static_cast<unsigned long long>(totals.seeder_down_ticks));
+    if (recovery_runs > 0) {
+      std::printf(", mean seeder recovery %.1f ticks",
+                  recovery_sum / static_cast<double>(recovery_runs));
+    }
+    std::printf("\n");
+    if (incomplete_runs > 0) {
+      std::printf("  %zu/%zu runs hit max_ticks before everyone finished\n",
+                  incomplete_runs, runs);
+    }
+  }
   return 0;
 }
 
