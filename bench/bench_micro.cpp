@@ -2,8 +2,17 @@
 // the PRA engine's building blocks. These calibrate the DSA_* scale knobs —
 // the figure benches' wall-clock cost is (simulations) x (time/run) measured
 // here.
+//
+// The round-model benchmarks run the sparse production engine and the dense
+// reference engine side-by-side, and main() first asserts the two produce
+// bit-for-bit identical outcomes on a churning mixed population — a cheap
+// guard against silent divergence that runs every time the bench does.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
 #include "core/pra.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
@@ -17,6 +26,8 @@ void BM_RoundSimHomogeneous(benchmark::State& state) {
   const auto rounds = static_cast<std::size_t>(state.range(0));
   swarming::SimulationConfig config;
   config.rounds = rounds;
+  config.engine = state.range(1) == 0 ? swarming::SimEngine::kSparse
+                                      : swarming::SimEngine::kDense;
   const auto bandwidths = swarming::BandwidthDistribution::piatek();
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -27,11 +38,18 @@ void BM_RoundSimHomogeneous(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(rounds) * 50);
 }
-BENCHMARK(BM_RoundSimHomogeneous)->Arg(120)->Arg(500);
+BENCHMARK(BM_RoundSimHomogeneous)
+    ->ArgNames({"rounds", "dense"})
+    ->Args({120, 0})
+    ->Args({120, 1})
+    ->Args({500, 0})
+    ->Args({500, 1});
 
 void BM_RoundSimEncounter(benchmark::State& state) {
   swarming::SimulationConfig config;
   config.rounds = static_cast<std::size_t>(state.range(0));
+  config.engine = state.range(1) == 0 ? swarming::SimEngine::kSparse
+                                      : swarming::SimEngine::kDense;
   const auto bandwidths = swarming::BandwidthDistribution::piatek();
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -42,7 +60,12 @@ void BM_RoundSimEncounter(benchmark::State& state) {
                                 config, bandwidths));
   }
 }
-BENCHMARK(BM_RoundSimEncounter)->Arg(120)->Arg(500);
+BENCHMARK(BM_RoundSimEncounter)
+    ->ArgNames({"rounds", "dense"})
+    ->Args({120, 0})
+    ->Args({120, 1})
+    ->Args({500, 0})
+    ->Args({500, 1});
 
 void BM_SwarmDownload(benchmark::State& state) {
   swarm::SwarmConfig config;
@@ -66,6 +89,52 @@ void BM_ProtocolCodec(benchmark::State& state) {
 }
 BENCHMARK(BM_ProtocolCodec);
 
+/// Runs one churning mixed-population config on both engines and aborts on
+/// any outcome difference — the engines' contract is bitwise identity, not
+/// mere closeness, so compare with == rather than a tolerance.
+void assert_engines_match() {
+  swarming::SimulationConfig config;
+  config.rounds = 200;
+  config.churn_rate = 0.02;
+  config.intake_factor = 1.5;
+  config.seed = 77;
+  const auto bandwidths = swarming::BandwidthDistribution::piatek();
+  swarming::ProtocolSpec freerider = swarming::bittorrent_protocol();
+  freerider.allocation = swarming::AllocationPolicy::kFreeride;
+  std::vector<swarming::ProtocolSpec> protocols;
+  protocols.insert(protocols.end(), 20, swarming::bittorrent_protocol());
+  protocols.insert(protocols.end(), 20,
+                   swarming::loyal_when_needed_protocol());
+  protocols.insert(protocols.end(), 10, freerider);
+  const std::vector<double> capacities =
+      bandwidths.stratified_sample(protocols.size());
+
+  config.engine = swarming::SimEngine::kSparse;
+  const auto sparse =
+      simulate_rounds(protocols, capacities, config, &bandwidths);
+  config.engine = swarming::SimEngine::kDense;
+  const auto dense =
+      simulate_rounds(protocols, capacities, config, &bandwidths);
+
+  if (sparse.peer_throughput != dense.peer_throughput ||
+      sparse.peers_replaced != dense.peers_replaced) {
+    std::fprintf(stderr,
+                 "FATAL: sparse and dense engines diverged on the guard "
+                 "config (seed=%llu)\n",
+                 static_cast<unsigned long long>(config.seed));
+    std::abort();
+  }
+  std::fprintf(stderr, "[guard] sparse and dense engine outcomes identical\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dsa::bench::runtime_banner();
+  assert_engines_match();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "swarming/pra_dataset.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dsa::bench {
 
@@ -21,8 +22,28 @@ inline std::vector<swarming::PraRecord> dataset() {
       swarming::PraDatasetOptions::from_environment());
 }
 
-/// Prints the standard bench banner.
+/// Prints the effective runtime configuration — thread count and every DSA_*
+/// scale knob — to stderr, so any captured bench output records the scale it
+/// ran at and runs are comparable across machines/PRs.
+inline void runtime_banner() {
+  const auto options = swarming::PraDatasetOptions::from_environment();
+  const std::size_t threads = options.pra.threads == 0
+                                  ? util::ThreadPool::default_thread_count()
+                                  : options.pra.threads;
+  std::fprintf(
+      stderr,
+      "[config] threads=%zu rounds=%zu population=%zu perf_runs=%zu "
+      "encounter_runs=%zu opponents=%zu seed=%llu engine=%s\n",
+      threads, options.rounds, options.pra.population,
+      options.pra.performance_runs, options.pra.encounter_runs,
+      options.pra.opponent_sample,
+      static_cast<unsigned long long>(options.pra.seed),
+      options.engine == swarming::SimEngine::kDense ? "dense" : "sparse");
+}
+
+/// Prints the standard bench banner (and the runtime config to stderr).
 inline void banner(const std::string& experiment, const std::string& claim) {
+  runtime_banner();
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("Paper claim: %s\n", claim.c_str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "stats/descriptive.hpp"
@@ -20,8 +21,9 @@ std::uint64_t derive_seed(std::uint64_t master, std::uint64_t tag,
   return util::hash64(mix);
 }
 
-PraEngine::PraEngine(const EncounterModel& model, PraConfig config)
-    : model_(model), config_(std::move(config)) {
+PraEngine::PraEngine(const EncounterModel& model, PraConfig config,
+                     util::ThreadPool* pool)
+    : model_(model), config_(std::move(config)), pool_(pool) {
   if (config_.population < 2) {
     throw std::invalid_argument("PraEngine: population must be >= 2");
   }
@@ -35,6 +37,52 @@ PraEngine::PraEngine(const EncounterModel& model, PraConfig config)
   if (model_.protocol_count() < 2) {
     throw std::invalid_argument("PraEngine: need at least 2 protocols");
   }
+
+  // Precompute the per-protocol opponent samples once. The seeded partial
+  // Fisher-Yates matches what the old per-call opponents_of drew, so the
+  // samples are unchanged — and stable across splits, which keeps the 50-50
+  // and minority tournaments comparable.
+  const std::uint32_t count = model_.protocol_count();
+  if (config_.opponent_sample > 0 &&
+      config_.opponent_sample < static_cast<std::size_t>(count) - 1) {
+    sampled_opponents_.resize(count);
+    std::vector<std::uint32_t> all;
+    all.reserve(count - 1);
+    for (std::uint32_t p = 0; p < count; ++p) {
+      all.clear();
+      for (std::uint32_t o = 0; o < count; ++o) {
+        if (o != p) all.push_back(o);
+      }
+      util::Rng rng(derive_seed(config_.seed, /*tag=*/0xA11, p, 0));
+      for (std::size_t i = 0; i < config_.opponent_sample; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.below(all.size() - i));
+        std::swap(all[i], all[j]);
+      }
+      sampled_opponents_[p].assign(all.begin(),
+                                   all.begin() + static_cast<std::ptrdiff_t>(
+                                                     config_.opponent_sample));
+    }
+  }
+}
+
+PraEngine::~PraEngine() = default;
+
+util::ThreadPool& PraEngine::pool() const {
+  if (pool_ != nullptr) return *pool_;
+  if (!owned_pool_) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(
+        config_.threads == 0 ? util::ThreadPool::default_thread_count()
+                             : config_.threads);
+  }
+  return *owned_pool_;
+}
+
+std::size_t PraEngine::grain_for(std::size_t total) const {
+  // Aim for ~32 chunks per worker so stragglers rebalance, but never let a
+  // chunk shrink to the point where the shared counter is hot.
+  const std::size_t threads = pool().thread_count();
+  return std::clamp<std::size_t>(total / (threads * 32 + 1), 1, 64);
 }
 
 std::size_t PraEngine::pi_count(double pi_fraction) const {
@@ -43,26 +91,17 @@ std::size_t PraEngine::pi_count(double pi_fraction) const {
   return std::clamp<std::size_t>(count, 1, config_.population - 1);
 }
 
-std::vector<std::uint32_t> PraEngine::opponents_of(std::uint32_t p) const {
-  const std::uint32_t count = model_.protocol_count();
-  std::vector<std::uint32_t> all;
-  all.reserve(count - 1);
-  for (std::uint32_t o = 0; o < count; ++o) {
-    if (o != p) all.push_back(o);
-  }
-  if (config_.opponent_sample == 0 || config_.opponent_sample >= all.size()) {
-    return all;
-  }
-  // A seeded partial Fisher-Yates keeps the sample stable across calls for
-  // the same protocol, so tournaments at different splits stay comparable.
-  util::Rng rng(derive_seed(config_.seed, /*tag=*/0xA11, p, 0));
-  for (std::size_t i = 0; i < config_.opponent_sample; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.below(all.size() - i));
-    std::swap(all[i], all[j]);
-  }
-  all.resize(config_.opponent_sample);
-  return all;
+std::size_t PraEngine::opponent_count() const noexcept {
+  const auto others =
+      static_cast<std::size_t>(model_.protocol_count()) - 1;
+  return sampled_opponents_.empty() ? others : config_.opponent_sample;
+}
+
+std::uint32_t PraEngine::opponent_at(std::uint32_t p, std::size_t j) const {
+  if (!sampled_opponents_.empty()) return sampled_opponents_[p][j];
+  // Exhaustive case: ascending protocol ids with p skipped.
+  const auto o = static_cast<std::uint32_t>(j);
+  return o < p ? o : o + 1;
 }
 
 double PraEngine::raw_performance_of(std::uint32_t p) const {
@@ -76,16 +115,36 @@ double PraEngine::raw_performance_of(std::uint32_t p) const {
 
 std::vector<double> PraEngine::raw_performance() const {
   const std::uint32_t count = model_.protocol_count();
-  std::vector<double> raw(count, 0.0);
-  std::atomic<std::size_t> done{0};
+  const std::size_t runs = config_.performance_runs;
+  const std::size_t total = static_cast<std::size_t>(count) * runs;
 
-  util::ThreadPool pool(config_.threads == 0
-                            ? util::ThreadPool::default_thread_count()
-                            : config_.threads);
-  pool.parallel_for(count, [&](std::size_t p) {
-    raw[p] = raw_performance_of(static_cast<std::uint32_t>(p));
-    if (config_.progress) config_.progress(++done, count);
-  });
+  // Flattened (protocol, run) grid: every simulation is its own task, so a
+  // protocol with slow runs cannot straggle a whole lane.
+  std::vector<double> slots(total, 0.0);
+  std::vector<std::atomic<std::size_t>> remaining(count);
+  for (auto& r : remaining) r.store(runs, std::memory_order_relaxed);
+  std::atomic<std::size_t> done{0};
+  pool().parallel_for(
+      total,
+      [&](std::size_t t) {
+        const auto p = static_cast<std::uint32_t>(t / runs);
+        const std::size_t r = t % runs;
+        slots[t] = model_.homogeneous_utility(
+            p, config_.population,
+            derive_seed(config_.seed, /*tag=*/0x9E4F, p, r));
+        if (remaining[p].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            config_.progress) {
+          config_.progress(++done, count);
+        }
+      },
+      grain_for(total));
+
+  // Reduce in run order — the same summation order as raw_performance_of,
+  // so the mean is bitwise-identical.
+  std::vector<double> raw(count, 0.0);
+  for (std::uint32_t p = 0; p < count; ++p) {
+    raw[p] = stats::mean(std::span<const double>(&slots[p * runs], runs));
+  }
   return raw;
 }
 
@@ -100,10 +159,11 @@ double PraEngine::win_rate_of(std::uint32_t p, double pi_fraction) const {
   const auto split_tag =
       static_cast<std::uint64_t>(std::llround(pi_fraction * 1000.0));
 
-  const std::vector<std::uint32_t> opponents = opponents_of(p);
+  const std::size_t opponents = opponent_count();
   std::size_t wins = 0;
   std::size_t games = 0;
-  for (std::uint32_t opponent : opponents) {
+  for (std::size_t j = 0; j < opponents; ++j) {
+    const std::uint32_t opponent = opponent_at(p, j);
     for (std::size_t run = 0; run < config_.encounter_runs; ++run) {
       const std::uint64_t seed =
           derive_seed(config_.seed, split_tag,
@@ -124,17 +184,141 @@ std::vector<double> PraEngine::tournament(double pi_fraction) const {
     throw std::invalid_argument("PraEngine::tournament: bad split");
   }
   const std::uint32_t count = model_.protocol_count();
+  const std::size_t count_pi = pi_count(pi_fraction);
+  const std::size_t count_other = config_.population - count_pi;
+  const auto split_tag =
+      static_cast<std::uint64_t>(std::llround(pi_fraction * 1000.0));
+  const std::size_t opponents = opponent_count();
+  const std::size_t runs = config_.encounter_runs;
+  const std::size_t games = opponents * runs;
+  const std::size_t total = static_cast<std::size_t>(count) * games;
+
+  // Flattened (protocol, opponent, run) grid; each task records one win bit.
+  std::vector<std::uint8_t> win(total, 0);
+  std::vector<std::atomic<std::size_t>> remaining(count);
+  for (auto& r : remaining) r.store(games, std::memory_order_relaxed);
+  std::atomic<std::size_t> done{0};
+  pool().parallel_for(
+      total,
+      [&](std::size_t t) {
+        const auto p = static_cast<std::uint32_t>(t / games);
+        const std::size_t rem = t % games;
+        const std::uint32_t opponent = opponent_at(p, rem / runs);
+        const std::size_t run = rem % runs;
+        const std::uint64_t seed =
+            derive_seed(config_.seed, split_tag,
+                        (static_cast<std::uint64_t>(p) << 32) | opponent, run);
+        const auto [pi_mean, other_mean] =
+            model_.mixed_utilities(p, opponent, count_pi, count_other, seed);
+        win[t] = pi_mean > other_mean ? 1 : 0;
+        if (remaining[p].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            config_.progress) {
+          config_.progress(++done, count);
+        }
+      },
+      grain_for(total));
+
+  // Integer win counts are order-free, so this matches win_rate_of exactly.
   std::vector<double> win_rate(count, 0.0);
+  for (std::uint32_t p = 0; p < count; ++p) {
+    std::size_t wins = 0;
+    for (std::size_t g = 0; g < games; ++g) {
+      wins += win[static_cast<std::size_t>(p) * games + g];
+    }
+    win_rate[p] = games == 0 ? 0.0
+                             : static_cast<double>(wins) /
+                                   static_cast<double>(games);
+  }
+  return win_rate;
+}
+
+std::vector<ProtocolMetrics> PraEngine::quantify(std::uint32_t begin,
+                                                 std::uint32_t end) const {
+  if (begin > end || end > model_.protocol_count()) {
+    throw std::invalid_argument("PraEngine::quantify: bad protocol range");
+  }
+  const std::size_t batch = end - begin;
+  if (batch == 0) return {};
+
+  const std::size_t perf_runs = config_.performance_runs;
+  const std::size_t runs = config_.encounter_runs;
+  const std::size_t opponents = opponent_count();
+  const std::size_t games = opponents * runs;  // per split
+
+  const std::size_t count_rob = pi_count(0.5);
+  const std::size_t count_agg = pi_count(config_.minority_fraction);
+  const auto rob_tag = static_cast<std::uint64_t>(std::llround(0.5 * 1000.0));
+  const auto agg_tag = static_cast<std::uint64_t>(
+      std::llround(config_.minority_fraction * 1000.0));
+
+  // Every simulation of the batch — performance runs and both tournaments'
+  // games, across all protocols — is one task in a single flattened grid,
+  // so the chunk finishes when the last simulation does, not when the last
+  // protocol's serial loop does.
+  const std::size_t per_protocol = perf_runs + 2 * games;
+  const std::size_t total = batch * per_protocol;
+
+  std::vector<double> perf_slots(batch * perf_runs, 0.0);
+  std::vector<std::uint8_t> win(batch * 2 * games, 0);
+  std::vector<std::atomic<std::size_t>> remaining(batch);
+  for (auto& r : remaining) r.store(per_protocol, std::memory_order_relaxed);
   std::atomic<std::size_t> done{0};
 
-  util::ThreadPool pool(config_.threads == 0
-                            ? util::ThreadPool::default_thread_count()
-                            : config_.threads);
-  pool.parallel_for(count, [&](std::size_t p) {
-    win_rate[p] = win_rate_of(static_cast<std::uint32_t>(p), pi_fraction);
-    if (config_.progress) config_.progress(++done, count);
-  });
-  return win_rate;
+  pool().parallel_for(
+      total,
+      [&](std::size_t t) {
+        const std::size_t slot = t / per_protocol;
+        const auto p = static_cast<std::uint32_t>(begin + slot);
+        std::size_t local = t % per_protocol;
+        if (local < perf_runs) {
+          perf_slots[slot * perf_runs + local] = model_.homogeneous_utility(
+              p, config_.population,
+              derive_seed(config_.seed, /*tag=*/0x9E4F, p, local));
+        } else {
+          local -= perf_runs;
+          const std::size_t split = local / games;  // 0 = 50/50, 1 = minority
+          const std::size_t game = local % games;
+          const std::uint32_t opponent = opponent_at(p, game / runs);
+          const std::size_t run = game % runs;
+          const std::uint64_t tag = split == 0 ? rob_tag : agg_tag;
+          const std::size_t count_pi = split == 0 ? count_rob : count_agg;
+          const std::uint64_t seed = derive_seed(
+              config_.seed, tag,
+              (static_cast<std::uint64_t>(p) << 32) | opponent, run);
+          const auto [pi_mean, other_mean] = model_.mixed_utilities(
+              p, opponent, count_pi, config_.population - count_pi, seed);
+          win[slot * 2 * games + split * games + game] =
+              pi_mean > other_mean ? 1 : 0;
+        }
+        if (remaining[slot].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            config_.progress) {
+          config_.progress(++done, batch);
+        }
+      },
+      grain_for(total));
+
+  std::vector<ProtocolMetrics> metrics(batch);
+  for (std::size_t slot = 0; slot < batch; ++slot) {
+    // Mean in run order — bitwise-identical to raw_performance_of.
+    metrics[slot].raw_performance = stats::mean(
+        std::span<const double>(&perf_slots[slot * perf_runs], perf_runs));
+    const std::uint8_t* w = &win[slot * 2 * games];
+    std::size_t rob_wins = 0;
+    std::size_t agg_wins = 0;
+    for (std::size_t g = 0; g < games; ++g) {
+      rob_wins += w[g];
+      agg_wins += w[games + g];
+    }
+    metrics[slot].robustness =
+        games == 0 ? 0.0
+                   : static_cast<double>(rob_wins) /
+                         static_cast<double>(games);
+    metrics[slot].aggressiveness =
+        games == 0 ? 0.0
+                   : static_cast<double>(agg_wins) /
+                         static_cast<double>(games);
+  }
+  return metrics;
 }
 
 PraScores PraEngine::run() const {

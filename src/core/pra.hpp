@@ -21,9 +21,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/model.hpp"
+
+namespace dsa::util {
+class ThreadPool;
+}  // namespace dsa::util
 
 namespace dsa::core {
 
@@ -51,12 +56,35 @@ struct PraScores {
   std::vector<double> aggressiveness;   // win rate at the 10/90 split
 };
 
+/// All three metrics of one protocol, as computed by PraEngine::quantify.
+struct ProtocolMetrics {
+  double raw_performance = 0.0;  // domain units (not normalized)
+  double robustness = 0.0;       // win rate at the 50/50 split
+  double aggressiveness = 0.0;   // win rate at the minority split
+};
+
 /// Runs PRA over a model's whole protocol space.
+///
+/// All scheduling goes through one ThreadPool — caller-provided or lazily
+/// owned — and every experiment is flattened into a grid of independent
+/// per-simulation tasks, so one slow protocol never straggles a pass.
+/// Methods parallelize internally; the engine itself must not be driven from
+/// multiple threads at once. Results are independent of the pool size and
+/// of task scheduling (per-item seed derivation).
 class PraEngine {
  public:
   /// The model must outlive the engine. Throws std::invalid_argument on
   /// degenerate configs (population < 2, zero runs, fraction outside (0,1)).
-  PraEngine(const EncounterModel& model, PraConfig config);
+  ///
+  /// When `pool` is non-null the engine schedules every experiment on it
+  /// (the pool must outlive the engine and config.threads is ignored);
+  /// otherwise the engine lazily creates its own pool with config.threads
+  /// workers (0 = hardware concurrency) on first use.
+  PraEngine(const EncounterModel& model, PraConfig config,
+            util::ThreadPool* pool = nullptr);
+  ~PraEngine();
+  PraEngine(const PraEngine&) = delete;
+  PraEngine& operator=(const PraEngine&) = delete;
 
   /// Homogeneous-population performance, averaged over performance_runs,
   /// in raw domain units (one entry per protocol).
@@ -73,8 +101,19 @@ class PraEngine {
   [[nodiscard]] std::vector<double> tournament(double pi_fraction) const;
 
   /// Win rate of a single protocol at a split; tournament(f)[p] ==
-  /// win_rate_of(p, f) exactly (same per-item seed derivation).
+  /// win_rate_of(p, f) exactly (same per-item seed derivation). Runs
+  /// serially on the calling thread.
   [[nodiscard]] double win_rate_of(std::uint32_t p, double pi_fraction) const;
+
+  /// All three metrics for protocols [begin, end), scheduled as one
+  /// flattened grid of performance_runs + 2 * opponents * encounter_runs
+  /// simulations per protocol — the batch primitive behind the PRA dataset
+  /// sweep's checkpoint chunks. Entry i describes protocol begin + i, with
+  /// values exactly equal to raw_performance_of / win_rate_of(·, 0.5) /
+  /// win_rate_of(·, minority_fraction). The progress callback, if set,
+  /// reports (protocols finished, protocols in batch).
+  [[nodiscard]] std::vector<ProtocolMetrics> quantify(std::uint32_t begin,
+                                                      std::uint32_t end) const;
 
   /// Performance + Robustness + Aggressiveness in one pass.
   [[nodiscard]] PraScores run() const;
@@ -86,11 +125,33 @@ class PraEngine {
   /// population - 1.
   [[nodiscard]] std::size_t pi_count(double pi_fraction) const;
 
-  /// The opponents protocol p faces: everyone else, or a seeded sample.
-  [[nodiscard]] std::vector<std::uint32_t> opponents_of(std::uint32_t p) const;
+  /// Opponents every protocol faces per tournament: everyone else, or the
+  /// configured sample size.
+  [[nodiscard]] std::size_t opponent_count() const noexcept;
+
+  /// The j-th opponent of protocol p (j < opponent_count()): arithmetic in
+  /// the exhaustive case, a lookup into the precomputed per-protocol sample
+  /// otherwise. Replaces the old opponents_of, which rebuilt and reshuffled
+  /// the full list on every win_rate_of call.
+  [[nodiscard]] std::uint32_t opponent_at(std::uint32_t p,
+                                          std::size_t j) const;
+
+  /// The shared scheduler: the caller's pool, or the lazily-built owned one.
+  [[nodiscard]] util::ThreadPool& pool() const;
+
+  /// Chunk size for parallel_for over `total` simulation tasks: large enough
+  /// to amortize the shared atomic counter, small enough to keep every
+  /// worker busy.
+  [[nodiscard]] std::size_t grain_for(std::size_t total) const;
 
   const EncounterModel& model_;
   PraConfig config_;
+  util::ThreadPool* pool_ = nullptr;
+  mutable std::unique_ptr<util::ThreadPool> owned_pool_;
+  /// Per-protocol opponent samples (empty in the exhaustive case), built
+  /// once in the constructor with the same seeded partial Fisher-Yates the
+  /// old per-call path used, so samples are unchanged and split-stable.
+  std::vector<std::vector<std::uint32_t>> sampled_opponents_;
 };
 
 /// Mixes a master seed with an experiment tag and work-item coordinates into

@@ -57,6 +57,9 @@ PraDatasetOptions PraDatasetOptions::from_environment() {
       static_cast<std::size_t>(util::env_int("DSA_THREADS", 0));
   options.pra.seed =
       static_cast<std::uint64_t>(util::env_int("DSA_SEED", 2011));
+  options.engine = util::env_string("DSA_ENGINE", "sparse") == "dense"
+                       ? SimEngine::kDense
+                       : SimEngine::kSparse;
   options.path = util::env_string("DSA_RESULTS", "results/pra_results.csv");
   options.checkpoint_interval =
       static_cast<std::size_t>(util::env_int("DSA_CHECKPOINT", 256));
@@ -120,8 +123,15 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
                                            bool verbose) {
   SimulationConfig sim;
   sim.rounds = options.rounds;
+  sim.engine = options.engine;
   SwarmingModel model(sim, BandwidthDistribution::piatek());
-  core::PraEngine engine(model, options.pra);
+  // One pool for the whole sweep, shared with the engine: the pool must
+  // outlive the engine, and every checkpoint chunk reuses its threads (and
+  // their thread-local simulation workspaces).
+  util::ThreadPool pool(options.pra.threads == 0
+                            ? util::ThreadPool::default_thread_count()
+                            : options.pra.threads);
+  core::PraEngine engine(model, options.pra, &pool);
 
   // The sweep runs protocol-by-protocol (all three metrics per protocol)
   // instead of metric-by-metric so a checkpoint prefix is self-contained.
@@ -140,9 +150,6 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
     }
   }
 
-  util::ThreadPool pool(options.pra.threads == 0
-                            ? util::ThreadPool::default_thread_count()
-                            : options.pra.threads);
   const std::size_t chunk_size = options.checkpoint_interval > 0
                                      ? options.checkpoint_interval
                                      : kProtocolCount;
@@ -150,16 +157,20 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
        begin += chunk_size) {
     const std::size_t end = std::min<std::size_t>(begin + chunk_size,
                                                   kProtocolCount);
-    pool.parallel_for(end - begin, [&](std::size_t i) {
+    // One flattened task grid per chunk: every simulation of every protocol
+    // in [begin, end) schedules independently, so a slow protocol cannot
+    // straggle the chunk the way the old per-protocol parallel_for could.
+    const std::vector<core::ProtocolMetrics> metrics = engine.quantify(
+        static_cast<std::uint32_t>(begin), static_cast<std::uint32_t>(end));
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
       const auto id = static_cast<std::uint32_t>(begin + i);
       PraRecord& rec = records[id];
       rec.protocol = id;
       rec.spec = decode_protocol(id);
-      rec.raw_performance = engine.raw_performance_of(id);
-      rec.robustness = engine.win_rate_of(id, 0.5);
-      rec.aggressiveness =
-          engine.win_rate_of(id, options.pra.minority_fraction);
-    });
+      rec.raw_performance = metrics[i].raw_performance;
+      rec.robustness = metrics[i].robustness;
+      rec.aggressiveness = metrics[i].aggressiveness;
+    }
     if (options.checkpoint_interval > 0 && end < kProtocolCount) {
       save_pra_checkpoint(records, end, checkpoint);
     }

@@ -11,6 +11,9 @@
 //   DSA_OPPONENTS       opponents sampled/protocol  (default 24;  paper: all)
 //   DSA_THREADS         worker threads              (default: hardware)
 //   DSA_SEED            master seed                 (default 2011)
+//   DSA_ENGINE          sparse (default) | dense simulation engine — the
+//                       two are bitwise-identical; dense is the slow
+//                       reference path kept for equivalence checks
 //   DSA_FULL=1          shorthand for the paper-fidelity values above
 //   DSA_RESULTS         dataset path (default results/pra_results.csv)
 //   DSA_CHECKPOINT      protocols per checkpoint chunk (default 256; 0 off)
@@ -29,6 +32,7 @@
 
 #include "core/pra.hpp"
 #include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
 #include "util/csv.hpp"
 
 namespace dsa::swarming {
@@ -51,6 +55,10 @@ struct PraDatasetOptions {
   std::filesystem::path path = "results/pra_results.csv";
   /// Protocols computed between checkpoint saves; 0 disables checkpointing.
   std::size_t checkpoint_interval = 256;
+  /// Simulation engine (DSA_ENGINE=dense selects the reference path).
+  /// Deliberately excluded from the checkpoint fingerprint: the engines are
+  /// bitwise-identical, so their checkpoints are interchangeable.
+  SimEngine engine = SimEngine::kSparse;
 
   /// Builds options from the environment (see header comment).
   static PraDatasetOptions from_environment();

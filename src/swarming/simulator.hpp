@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -49,6 +50,45 @@
 #include "util/rng.hpp"
 
 namespace dsa::swarming {
+
+/// Which implementation of the round model executes a run. Both produce
+/// bitwise-identical outcomes for every configuration (enforced by the
+/// simulator tests and the golden-fingerprint test); kSparse is the default
+/// production path, kDense the original O(n^2)-per-round implementation kept
+/// as the reference for equivalence checks and before/after benchmarking.
+enum class SimEngine : std::uint8_t {
+  /// Epoch-stamped sparse round state + reusable workspace: per-round cost
+  /// O(n * (k + h)) instead of O(n^2), O(1) allocations per reused
+  /// workspace instead of ~10 per simulation.
+  kSparse,
+  /// The seed implementation: dense n^2 matrices refilled every round,
+  /// freshly allocated per simulation.
+  kDense,
+};
+
+/// Reusable scratch memory for the sparse engine: the interaction-history
+/// generations, stamps, streaks, and per-peer scratch vectors of a run.
+/// Reusing one workspace across many simulate_rounds calls (one per thread —
+/// a workspace must never be shared between concurrent runs) keeps a sweep
+/// at O(1) heap allocations per thread; epoch stamping makes reuse safe
+/// without clearing the O(n^2) arrays between runs. A default-constructed
+/// workspace holds no memory until its first run. The dense engine ignores
+/// it.
+class SimWorkspace {
+ public:
+  SimWorkspace();
+  ~SimWorkspace();
+  SimWorkspace(SimWorkspace&&) noexcept;
+  SimWorkspace& operator=(SimWorkspace&&) noexcept;
+  SimWorkspace(const SimWorkspace&) = delete;
+  SimWorkspace& operator=(const SimWorkspace&) = delete;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 /// How a peer's capacity maps onto its partner slots. kFixedLanes is the
 /// paper-faithful model (see the header comment); kDivideAmongSelected is
@@ -90,6 +130,9 @@ struct SimulationConfig {
   /// to a leading memoryless_churn process). Any process that replaces
   /// peers requires a churn_source.
   std::vector<fault::FaultProcess> faults;
+  /// Which engine executes the run. The two paths are bitwise-identical;
+  /// kDense exists for equivalence checks and before/after benchmarks.
+  SimEngine engine = SimEngine::kSparse;
 
   /// Rejects degenerate configurations with std::invalid_argument naming
   /// the offending field.
@@ -126,10 +169,18 @@ struct SimulationOutcome {
 /// `churn_source` must be provided whenever the config replaces peers —
 /// churn_rate > 0 or any peer-replacing fault process (fresh peers draw
 /// their capacity from it).
+///
+/// `workspace` supplies reusable scratch memory for the sparse engine; when
+/// null, a thread-local workspace is used, so back-to-back runs on one
+/// thread already reuse allocations. Passing an explicit workspace gives the
+/// caller control over reuse (e.g. a fresh workspace per run for the
+/// determinism tests). The outcome never depends on which workspace is used
+/// or what it previously ran.
 SimulationOutcome simulate_rounds(
     const std::vector<ProtocolSpec>& protocols,
     const std::vector<double>& capacities, const SimulationConfig& config,
-    const BandwidthDistribution* churn_source = nullptr);
+    const BandwidthDistribution* churn_source = nullptr,
+    SimWorkspace* workspace = nullptr);
 
 /// Mean utilities of the two protocol groups in a mixed population.
 struct EncounterOutcome {

@@ -76,24 +76,31 @@ class ThreadPool {
   }
 
   /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
-  /// fn must be safe to invoke concurrently for distinct indices. If any
-  /// invocation throws, the first exception is rethrown here after the
-  /// remaining lanes drain (in-flight indices still run to completion).
+  /// fn must be safe to invoke concurrently for distinct indices. Workers
+  /// grab `grain` consecutive indices per atomic increment, so cheap work
+  /// items (e.g. flattened per-run simulation tasks) amortize the shared
+  /// counter instead of contending on it; grain 1 preserves the original
+  /// one-index-at-a-time behavior. If any invocation throws, the rest of
+  /// that chunk is skipped, other chunks still run, and the first exception
+  /// is rethrown here after the lanes drain.
   template <typename Fn>
-  void parallel_for(std::size_t count, Fn&& fn) {
+  void parallel_for(std::size_t count, Fn&& fn, std::size_t grain = 1) {
     if (count == 0) return;
+    if (grain == 0) grain = 1;
     if (thread_count() == 1) {
       // Avoid queueing overhead entirely on single-core machines.
       for (std::size_t i = 0; i < count; ++i) fn(i);
       return;
     }
     std::atomic<std::size_t> next{0};
-    const std::size_t lanes = std::min(thread_count(), count);
+    const std::size_t chunks = (count + grain - 1) / grain;
+    const std::size_t lanes = std::min(thread_count(), chunks);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      submit([&next, count, &fn] {
-        for (std::size_t i = next.fetch_add(1); i < count;
-             i = next.fetch_add(1)) {
-          fn(i);
+      submit([&next, count, grain, &fn] {
+        for (std::size_t begin = next.fetch_add(grain); begin < count;
+             begin = next.fetch_add(grain)) {
+          const std::size_t end = std::min(begin + grain, count);
+          for (std::size_t i = begin; i < end; ++i) fn(i);
         }
       });
     }

@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/model.hpp"
 #include "core/pra.hpp"
+#include "core/subspace.hpp"
+#include "swarming/dsa_model.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -112,6 +116,126 @@ TEST(PraCheckpoint, SaveLoadRoundTripsAPrefix) {
     EXPECT_DOUBLE_EQ(loaded[i].aggressiveness, 0.05 * i);
   }
   std::filesystem::remove(path);
+}
+
+TEST(PraQuantify, MatchesPerProtocolMethodsExactly) {
+  SeededModel model(9);
+  core::PraConfig config;
+  config.population = 20;
+  config.performance_runs = 3;
+  config.encounter_runs = 2;
+  config.opponent_sample = 4;
+  config.seed = 123;
+  config.threads = 3;
+  const core::PraEngine engine(model, config);
+
+  const auto metrics = engine.quantify(2, 7);
+  ASSERT_EQ(metrics.size(), 5u);
+  for (std::uint32_t i = 0; i < metrics.size(); ++i) {
+    const std::uint32_t p = 2 + i;
+    EXPECT_DOUBLE_EQ(metrics[i].raw_performance, engine.raw_performance_of(p))
+        << p;
+    EXPECT_DOUBLE_EQ(metrics[i].robustness, engine.win_rate_of(p, 0.5)) << p;
+    EXPECT_DOUBLE_EQ(metrics[i].aggressiveness,
+                     engine.win_rate_of(p, config.minority_fraction))
+        << p;
+  }
+  EXPECT_TRUE(engine.quantify(3, 3).empty());
+  EXPECT_THROW(engine.quantify(5, 4), std::invalid_argument);
+  EXPECT_THROW(engine.quantify(0, 10), std::invalid_argument);
+}
+
+// ------------------------------------ sweep determinism & golden bytes ----
+
+/// The scale knobs of one PRA determinism/fingerprint scenario.
+struct SliceScale {
+  std::size_t rounds = 120;
+  std::size_t performance_runs = 3;
+  std::size_t encounter_runs = 1;
+};
+
+/// Computes a small PRA slice over named protocols with the real simulator
+/// and returns the exact bytes save_pra_checkpoint would persist — the same
+/// fingerprint the crash-tolerant sweep trusts when resuming. `passes` lets
+/// a caller run the same batch repeatedly on one engine (so the second pass
+/// reuses the pool's thread-local simulation workspaces).
+std::string pra_slice_bytes(swarming::SimEngine sim_engine,
+                            std::size_t threads, const SliceScale& scale,
+                            std::size_t passes = 1) {
+  swarming::SimulationConfig sim;
+  sim.rounds = scale.rounds;
+  sim.engine = sim_engine;
+  const swarming::SwarmingModel model(
+      sim, swarming::BandwidthDistribution::piatek());
+  const core::SubspaceModel subset(
+      model, {swarming::encode_protocol(swarming::bittorrent_protocol()),
+              swarming::encode_protocol(swarming::birds_protocol()),
+              swarming::encode_protocol(swarming::loyal_when_needed_protocol()),
+              swarming::encode_protocol(swarming::sort_s_protocol())});
+  core::PraConfig config;
+  config.population = 20;
+  config.performance_runs = scale.performance_runs;
+  config.encounter_runs = scale.encounter_runs;
+  config.seed = 2011;
+  config.threads = threads;
+  const core::PraEngine engine(subset, config);
+
+  std::vector<core::ProtocolMetrics> metrics;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    metrics = engine.quantify(0, subset.protocol_count());
+  }
+  std::vector<swarming::PraRecord> records(metrics.size());
+  for (std::uint32_t i = 0; i < metrics.size(); ++i) {
+    records[i].protocol = i;
+    records[i].raw_performance = metrics[i].raw_performance;
+    records[i].robustness = metrics[i].robustness;
+    records[i].aggressiveness = metrics[i].aggressiveness;
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    "dsa_slice_test.partial-bytes";
+  swarming::save_pra_checkpoint(records, records.size(), path);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::filesystem::remove(path);
+  return bytes.str();
+}
+
+TEST(PraDeterminism, ThreadCountAndWorkspaceReuseDoNotChangeBytes) {
+  // The same slice computed with 1 thread, 4 threads, and on an engine
+  // whose pool (and thread-local workspaces) already ran the batch must
+  // produce byte-identical CSVs — scheduling and workspace reuse are
+  // invisible in the numbers.
+  const SliceScale scale;
+  const std::string one_thread =
+      pra_slice_bytes(swarming::SimEngine::kSparse, 1, scale);
+  const std::string four_threads =
+      pra_slice_bytes(swarming::SimEngine::kSparse, 4, scale);
+  const std::string reused_workspace =
+      pra_slice_bytes(swarming::SimEngine::kSparse, 4, scale, /*passes=*/2);
+  EXPECT_FALSE(one_thread.empty());
+  EXPECT_EQ(one_thread, four_threads);
+  EXPECT_EQ(one_thread, reused_workspace);
+}
+
+TEST(PraGoldenFingerprint, SparseMatchesDenseAtDefaultScale) {
+  // The dense engine is the seed implementation's hot path, byte for byte;
+  // equality of the persisted CSVs is the golden-fingerprint guarantee that
+  // the optimized sweep changed nothing at the default DSA_* scale.
+  const SliceScale scale;  // default-scale knobs: 120 rounds, 3+1 runs
+  EXPECT_EQ(pra_slice_bytes(swarming::SimEngine::kSparse, 2, scale),
+            pra_slice_bytes(swarming::SimEngine::kDense, 2, scale));
+}
+
+TEST(PraGoldenFingerprint, SparseMatchesDenseAtFullSubsetScale) {
+  // DSA_FULL-subset scale: the paper-fidelity 500 rounds and 10 encounter
+  // runs, on the named-protocol subset so the test stays tier-1 fast.
+  SliceScale scale;
+  scale.rounds = 500;
+  scale.performance_runs = 10;
+  scale.encounter_runs = 10;
+  EXPECT_EQ(pra_slice_bytes(swarming::SimEngine::kSparse, 2, scale),
+            pra_slice_bytes(swarming::SimEngine::kDense, 2, scale));
 }
 
 TEST(PraCheckpoint, MissingOrMalformedCheckpointYieldsEmpty) {

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "fault/fault_process.hpp"
 #include "swarming/bandwidth.hpp"
 #include "swarming/protocol.hpp"
 #include "swarming/simulator.hpp"
@@ -341,5 +342,131 @@ TEST_P(WindowSweep, BothWindowsSustainCooperation) {
 INSTANTIATE_TEST_SUITE_P(BothWindows, WindowSweep,
                          ::testing::Values(CandidateWindow::kTft,
                                            CandidateWindow::kTf2t));
+
+// -------------------------------------------- dense/sparse equivalence ----
+// The sparse production engine's contract is bitwise identity with the dense
+// reference (the seed implementation), for every configuration — same RNG
+// draw sequence, same floating-point operations in the same order. These
+// tests compare the two engines on exactly the configurations where their
+// internals differ most: churn (stamp invalidation vs row zeroing), faults,
+// the intake cap (touched-list scaling vs row scaling), TF2T (two-generation
+// candidate merge), and every ranking function (Loyal reads sparse streaks,
+// Random consumes RNG draws that must stay aligned).
+
+void expect_bitwise_equal(const SimulationOutcome& sparse,
+                          const SimulationOutcome& dense) {
+  ASSERT_EQ(sparse.peer_throughput.size(), dense.peer_throughput.size());
+  for (std::size_t i = 0; i < sparse.peer_throughput.size(); ++i) {
+    EXPECT_EQ(sparse.peer_throughput[i], dense.peer_throughput[i]) << i;
+  }
+  ASSERT_EQ(sparse.round_throughput.size(), dense.round_throughput.size());
+  for (std::size_t i = 0; i < sparse.round_throughput.size(); ++i) {
+    EXPECT_EQ(sparse.round_throughput[i], dense.round_throughput[i]) << i;
+  }
+  EXPECT_EQ(sparse.peers_replaced, dense.peers_replaced);
+}
+
+void expect_engines_agree(const std::vector<ProtocolSpec>& protocols,
+                          SimulationConfig config,
+                          SimWorkspace* workspace = nullptr) {
+  const std::vector<double> caps =
+      piatek().stratified_sample(protocols.size());
+  config.engine = SimEngine::kSparse;
+  const auto sparse =
+      simulate_rounds(protocols, caps, config, &piatek(), workspace);
+  config.engine = SimEngine::kDense;
+  const auto dense = simulate_rounds(protocols, caps, config, &piatek());
+  expect_bitwise_equal(sparse, dense);
+}
+
+TEST(EngineEquivalence, HomogeneousPopulation) {
+  expect_engines_agree(std::vector<ProtocolSpec>(40, bittorrent_protocol()),
+                       quick(101, 200));
+}
+
+TEST(EngineEquivalence, MixedPopulationWithChurnAndRoundSeries) {
+  ProtocolSpec freerider = bittorrent_protocol();
+  freerider.allocation = AllocationPolicy::kFreeride;
+  std::vector<ProtocolSpec> protocols(15, bittorrent_protocol());
+  protocols.insert(protocols.end(), 15, loyal_when_needed_protocol());
+  protocols.insert(protocols.end(), 10, freerider);
+  SimulationConfig config = quick(103, 250);
+  config.churn_rate = 0.04;
+  config.record_round_series = true;
+  expect_engines_agree(protocols, config);
+}
+
+TEST(EngineEquivalence, Tf2tPropShareWithIntakeCap) {
+  const ProtocolSpec spec =
+      make(StrangerPolicy::kWhenNeeded, 2, CandidateWindow::kTf2t,
+           RankingFunction::kFastest, 4, AllocationPolicy::kPropShare);
+  SimulationConfig config = quick(107, 200);
+  config.intake_factor = 1.2;
+  expect_engines_agree(std::vector<ProtocolSpec>(35, spec), config);
+}
+
+TEST(EngineEquivalence, EveryFaultProcess) {
+  SimulationConfig config = quick(109, 200);
+  config.faults = {
+      dsa::fault::FaultProcess::memoryless_churn(0.02),
+      dsa::fault::FaultProcess::burst_churn(40, 0.2),
+      dsa::fault::FaultProcess::capacity_degradation(100, 0.6),
+      dsa::fault::FaultProcess::targeted_failure(150, 0.1),
+  };
+  expect_engines_agree(std::vector<ProtocolSpec>(30, bittorrent_protocol()),
+                       config);
+}
+
+class EngineEquivalenceRankings
+    : public ::testing::TestWithParam<RankingFunction> {};
+
+TEST_P(EngineEquivalenceRankings, AllRankingsAndPoliciesAgree) {
+  // TF2T + churn stresses the two-generation merge, Loyal the sparse streak
+  // table, Random the RNG draw alignment; mix the stranger policies so
+  // defect-contact zero slots appear in the candidate lists of both engines.
+  const ProtocolSpec reciprocator =
+      make(StrangerPolicy::kWhenNeeded, 2, CandidateWindow::kTf2t, GetParam(),
+           3, AllocationPolicy::kEqualSplit);
+  const ProtocolSpec defector =
+      make(StrangerPolicy::kDefect, 1, CandidateWindow::kTft, GetParam(), 2,
+           AllocationPolicy::kPropShare);
+  std::vector<ProtocolSpec> protocols(20, reciprocator);
+  protocols.insert(protocols.end(), 10, defector);
+  SimulationConfig config = quick(113, 200);
+  config.churn_rate = 0.03;
+  expect_engines_agree(protocols, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRankings, EngineEquivalenceRankings,
+    ::testing::Values(RankingFunction::kFastest, RankingFunction::kSlowest,
+                      RankingFunction::kProximity, RankingFunction::kAdaptive,
+                      RankingFunction::kLoyal, RankingFunction::kRandom));
+
+TEST(EngineEquivalence, WorkspaceReuseAcrossRunsAndSizes) {
+  // One workspace reused across runs of different populations and configs
+  // must behave exactly like a fresh workspace every time — the epoch
+  // stamping must never leak state from a previous run, including after a
+  // shrink-then-grow resize.
+  SimWorkspace reused;
+  SimulationConfig churny = quick(127, 150);
+  churny.churn_rate = 0.05;
+  expect_engines_agree(std::vector<ProtocolSpec>(40, bittorrent_protocol()),
+                       quick(131, 150), &reused);
+  expect_engines_agree(
+      std::vector<ProtocolSpec>(20, loyal_when_needed_protocol()), churny,
+      &reused);
+  expect_engines_agree(std::vector<ProtocolSpec>(40, bittorrent_protocol()),
+                       quick(131, 150), &reused);
+
+  // And a reused workspace matches the thread-local (null) path bit for bit.
+  const std::vector<ProtocolSpec> protocols(25, bittorrent_protocol());
+  const std::vector<double> caps = piatek().stratified_sample(25);
+  const auto with_reused =
+      simulate_rounds(protocols, caps, quick(137, 150), &piatek(), &reused);
+  const auto with_thread_local =
+      simulate_rounds(protocols, caps, quick(137, 150), &piatek());
+  expect_bitwise_equal(with_reused, with_thread_local);
+}
 
 }  // namespace

@@ -293,6 +293,64 @@ TEST(ThreadPool, ParallelForRethrowsFirstException) {
   EXPECT_GT(ran.load(), 0);
 }
 
+TEST(ThreadPool, ChunkedParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Grain that doesn't divide the count: the last chunk is short.
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; }, /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; }, /*grain=*/16);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunkedParallelForCountBelowThreads) {
+  // Fewer indices than workers (and than one grain): everything still runs
+  // exactly once and the extra lanes stay idle rather than double-running.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; }, /*grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForGrainZeroBehavesLikeOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](std::size_t i) { ++hits[i]; }, /*grain=*/0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedParallelForExceptionSkipsRestOfChunkOnly) {
+  ThreadPool pool(2);
+  // One worker's chunk throws at its first index; the rest of that chunk is
+  // skipped, other chunks still run, and the exception surfaces.
+  std::vector<std::atomic<int>> hits(40);
+  try {
+    pool.parallel_for(
+        40,
+        [&](std::size_t i) {
+          if (i == 10) throw std::runtime_error("chunk exploded");
+          ++hits[i];
+        },
+        /*grain=*/10);
+    FAIL() << "parallel_for should have rethrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk exploded");
+  }
+  // Indices 11..19 shared the throwing chunk and must have been skipped; no
+  // index anywhere ran twice.
+  for (std::size_t i = 11; i < 20; ++i) EXPECT_EQ(hits[i].load(), 0) << i;
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+  // The pool survives for later work.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; }, /*grain=*/3);
+  EXPECT_EQ(count.load(), 8);
+}
+
 // ------------------------------------------------------- TablePrinter ----
 
 TEST(TablePrinter, AlignsColumnsAndSeparates) {

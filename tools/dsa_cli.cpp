@@ -28,6 +28,7 @@
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
@@ -45,6 +46,8 @@ commands:
   performance --protocol P      homogeneous population throughput
   encounter --a P --b P         one tournament encounter (group means, winner)
   pra --protocols P,P,...       PRA quantification over a protocol subset
+                                (--threads N worker threads; default
+                                DSA_THREADS, 0 = hardware concurrency)
   swarm --a C --b C             piece-level swarm head-to-head (Sec. 5)
   nash --na N --nb N --nc N --ur N
                                 Sec. 2.2/Appendix analytical model
@@ -211,6 +214,10 @@ int cmd_pra(const util::CliArgs& args) {
   pra.performance_runs = static_cast<std::size_t>(args.get_int("runs", 3));
   pra.encounter_runs = pra.performance_runs;
   pra.seed = static_cast<std::uint64_t>(args.get_int("seed", 2011));
+  // --threads beats DSA_THREADS beats hardware concurrency; results are
+  // identical either way (per-item seeding), only wall time changes.
+  pra.threads = static_cast<std::size_t>(
+      args.get_int("threads", util::env_int("DSA_THREADS", 0)));
   const SwarmingModel model = make_model(args);
   reject_unknown_flags(args);
 
