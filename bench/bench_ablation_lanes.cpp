@@ -44,6 +44,7 @@ double performance_at(int k, LaneModel model, RankingFunction ranking,
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("ablation_lanes");
   bench::banner(
       "Ablation — fixed partner lanes vs divide-among-selected",
       "(methodology check) Fig. 3's low-k performance advantage requires "

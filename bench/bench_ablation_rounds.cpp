@@ -39,6 +39,7 @@ double window_mean(const ProtocolSpec& spec, std::size_t lo, std::size_t hi) {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("ablation_rounds");
   bench::banner(
       "Ablation — simulator convergence over rounds",
       "(methodology check) by round ~100 the population throughput of every "

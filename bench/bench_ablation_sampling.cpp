@@ -19,6 +19,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("ablation_sampling");
   bench::banner(
       "Ablation — opponent-sample size vs robustness estimate quality",
       "(methodology check, not a paper figure) sampled tournaments must "

@@ -19,6 +19,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("churn");
   bench::banner(
       "Sec. 4.4 — homogeneous performance under churn (rates 0.01 and 0.1)",
       "even under churn it is still the protocols with a low number of "

@@ -18,6 +18,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("ess");
   bench::banner(
       "Extension — ESS stability vs PRA robustness",
       "(no paper counterpart) a protocol that wins 50-50 tournaments should "

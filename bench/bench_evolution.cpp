@@ -19,6 +19,7 @@ using namespace dsa::core;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("evolution");
   bench::banner(
       "Extension — replicator dynamics over the protocol menu",
       "freeriding dies out; reciprocating protocols carry the population "

@@ -25,6 +25,7 @@ using namespace dsa;
 using namespace dsa::swarm;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fault_degradation");
   bench::banner(
       "Fault degradation — Sec. 5 clients under injected faults",
       "the incentive designs keep working as conditions degrade; download "

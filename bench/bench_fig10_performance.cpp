@@ -14,6 +14,7 @@ using namespace dsa;
 using namespace dsa::swarm;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig10_performance");
   bench::banner(
       "Fig. 10 — homogeneous swarm download times per client",
       "in the paper Sort-S and Birds fare best, Random performs as well as "

@@ -40,6 +40,7 @@ void print_wins(const std::string& name, const ExpectedWins& w) {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig1_nash");
   bench::banner(
       "Fig. 1 / Secs. 2.2-2.3 / Appendix — BitTorrent Dilemma & Nash analysis",
       "fast peers defect on slow peers; BitTorrent's TFT is NOT a Nash "

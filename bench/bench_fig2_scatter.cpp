@@ -17,6 +17,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig2_scatter");
   bench::banner(
       "Fig. 2 — Robustness vs Performance scatter over all 3270 protocols",
       "freeriders crowd the low-P/low-R corner (perf <= ~0.31 for "

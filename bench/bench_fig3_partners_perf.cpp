@@ -13,6 +13,7 @@
 using namespace dsa;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig3_partners_perf");
   bench::banner(
       "Fig. 3 — Performance-interval x partner-count frequency map",
       "all top-15 performers keep 1 partner; only 11 of the top 100 keep "

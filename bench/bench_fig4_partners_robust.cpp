@@ -12,6 +12,7 @@
 using namespace dsa;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig4_partners_robust");
   bench::banner(
       "Fig. 4 — Robustness-interval x partner-count frequency map",
       "most highly robust protocols keep a high number of partners (the "

@@ -14,6 +14,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig5_stranger_ccdf");
   bench::banner(
       "Fig. 5 — CCDF of Robustness per stranger policy",
       "only protocols using the When-needed stranger policy reach the "

@@ -13,6 +13,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig6_allocation");
   bench::banner(
       "Fig. 6 — Robustness by resource-allocation policy",
       "Equal Split does well, but only Prop Share reaches the very top "

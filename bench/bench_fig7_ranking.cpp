@@ -13,6 +13,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig7_ranking");
   bench::banner(
       "Fig. 7 — Robustness by ranking function",
       "Sort Fastest protocols are the most robust; the best Sort Loyal "

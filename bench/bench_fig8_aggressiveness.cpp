@@ -13,6 +13,7 @@
 using namespace dsa;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig8_aggressiveness");
   bench::banner(
       "Fig. 8 — Robustness vs Aggressiveness scatter",
       "Robustness and Aggressiveness are linearly correlated with Pearson "

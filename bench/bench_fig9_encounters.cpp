@@ -83,6 +83,7 @@ void print_series(const std::string& title, ClientVariant a, ClientVariant b,
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("fig9_encounters");
   bench::banner(
       "Fig. 9 — competitive swarm encounters (validation substrate)",
       "(a) Loyal-When-needed never does worse than BitTorrent and its "

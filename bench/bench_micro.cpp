@@ -130,6 +130,7 @@ void assert_engines_match() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ::dsa::bench::MetricsScope metrics_scope("micro");
   dsa::bench::runtime_banner();
   assert_engines_match();
   benchmark::Initialize(&argc, argv);

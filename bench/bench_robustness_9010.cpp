@@ -17,6 +17,7 @@ using namespace dsa;
 using namespace dsa::swarming;
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("robustness_9010");
   bench::banner(
       "Sec. 4.3.2 — 50-50 vs 90-10 robustness correlation",
       "robustness measured with a 50% invading population predicts "

@@ -60,6 +60,7 @@ std::uint32_t mutate(std::uint32_t current, util::Rng& rng) {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("search_ablation");
   bench::banner(
       "Extension — heuristic search over the design space (Sec. 7 future "
       "work)",

@@ -44,6 +44,7 @@
 #include "swarming/dsa_model.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/env.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -180,6 +181,7 @@ std::vector<ScalePoint> scaling_series(std::size_t rounds) {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("sweep_throughput");
   bench::runtime_banner();
   const auto options = swarming::PraDatasetOptions::from_environment();
   const auto protocols = static_cast<std::uint32_t>(std::min<long long>(
@@ -235,53 +237,53 @@ int main() {
                  "bitwise-identical metrics and >= 3x over the dense seed "
                  "path (default-scale sweep or the population series)");
 
-  std::filesystem::create_directories(
-      std::filesystem::path(json_path).parent_path());
-  std::FILE* out = std::fopen(json_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"pra_sweep_throughput\",\n");
-  std::fprintf(out, "  \"threads\": %zu,\n", pool.thread_count());
-  std::fprintf(out,
-               "  \"knobs\": {\"protocols\": %u, \"stride\": %u, "
-               "\"rounds\": %zu, \"population\": %zu, "
-               "\"performance_runs\": %zu, \"encounter_runs\": %zu, "
-               "\"opponents\": %zu, \"seed\": %llu},\n",
-               protocols, swarming::kProtocolCount / protocols,
-               options.rounds, options.pra.population,
-               options.pra.performance_runs, options.pra.encounter_runs,
-               options.pra.opponent_sample,
-               static_cast<unsigned long long>(options.pra.seed));
-  std::fprintf(out, "  \"modes\": [\n");
+  // Rendered to a string and atomically replaced on disk, so a crash or
+  // concurrent reader never sees a truncated results file.
+  std::string json;
+  const auto append = [&json](const char* fmt, auto... args) {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer), fmt, args...);
+    json += buffer;
+  };
+  append("{\n");
+  append("  \"bench\": \"pra_sweep_throughput\",\n");
+  append("  \"threads\": %zu,\n", pool.thread_count());
+  append(
+      "  \"knobs\": {\"protocols\": %u, \"stride\": %u, "
+      "\"rounds\": %zu, \"population\": %zu, "
+      "\"performance_runs\": %zu, \"encounter_runs\": %zu, "
+      "\"opponents\": %zu, \"seed\": %llu},\n",
+      protocols, swarming::kProtocolCount / protocols, options.rounds,
+      options.pra.population, options.pra.performance_runs,
+      options.pra.encounter_runs, options.pra.opponent_sample,
+      static_cast<unsigned long long>(options.pra.seed));
+  append("  \"modes\": [\n");
   for (const ModeResult* mode : {&dense, &sparse}) {
-    std::fprintf(out,
-                 "    {\"engine\": \"%s\", \"simulations\": %zu, "
-                 "\"wall_seconds\": %.6f, \"sims_per_sec\": %.1f}%s\n",
-                 mode->engine.c_str(), mode->simulations, mode->wall_seconds,
-                 mode->sims_per_sec, mode == &dense ? "," : "");
+    append(
+        "    {\"engine\": \"%s\", \"simulations\": %zu, "
+        "\"wall_seconds\": %.6f, \"sims_per_sec\": %.1f}%s\n",
+        mode->engine.c_str(), mode->simulations, mode->wall_seconds,
+        mode->sims_per_sec, mode == &dense ? "," : "");
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"speedup_sparse_vs_dense\": %.3f,\n", speedup);
-  std::fprintf(out, "  \"scaling\": [\n");
+  append("  ],\n");
+  append("  \"speedup_sparse_vs_dense\": %.3f,\n", speedup);
+  append("  \"scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     const ScalePoint& point = scaling[i];
-    std::fprintf(out,
-                 "    {\"population\": %zu, \"dense_ms_per_sim\": %.3f, "
-                 "\"sparse_ms_per_sim\": %.3f, \"speedup\": %.3f, "
-                 "\"identical\": %s}%s\n",
-                 point.population, point.dense_ms, point.sparse_ms,
-                 point.speedup, point.identical ? "true" : "false",
-                 i + 1 < scaling.size() ? "," : "");
+    append(
+        "    {\"population\": %zu, \"dense_ms_per_sim\": %.3f, "
+        "\"sparse_ms_per_sim\": %.3f, \"speedup\": %.3f, "
+        "\"identical\": %s}%s\n",
+        point.population, point.dense_ms, point.sparse_ms, point.speedup,
+        point.identical ? "true" : "false",
+        i + 1 < scaling.size() ? "," : "");
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"outcomes_identical\": %s,\n",
-               identical && scaling_identical ? "true" : "false");
-  std::fprintf(out, "  \"peak_rss_kb\": %ld\n", usage.ru_maxrss);
-  std::fprintf(out, "}\n");
-  std::fclose(out);
+  append("  ],\n");
+  append("  \"outcomes_identical\": %s,\n",
+         identical && scaling_identical ? "true" : "false");
+  append("  \"peak_rss_kb\": %ld\n", usage.ru_maxrss);
+  append("}\n");
+  util::atomic_write(json_path, json);
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   return identical && scaling_identical ? 0 : 1;
 }

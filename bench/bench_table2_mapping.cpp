@@ -26,6 +26,7 @@ struct Mapping {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("table2_mapping");
   bench::banner(
       "Table 2 — existing systems mapped to the generic design space",
       "peer discovery / stranger policy / selection function / resource "

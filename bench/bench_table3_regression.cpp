@@ -27,6 +27,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  ::dsa::bench::MetricsScope metrics_scope("table3_regression");
   bench::banner(
       "Table 3 — OLS regression of P / R / A on the design dimensions",
       "Freeride (R3) hurts all measures most; Defect strangers (B3) "

@@ -8,13 +8,50 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "swarming/pra_dataset.hpp"
+#include "util/env.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dsa::bench {
+
+/// Metrics collection defaults to on for benches (DSA_METRICS=0 disables it,
+/// e.g. when measuring the disabled-path overhead of the obs layer itself).
+inline bool metrics_requested() {
+  const std::string value = util::env_string("DSA_METRICS", "1");
+  return value != "0" && value != "false";
+}
+
+/// Writes the process-wide metrics snapshot to results/METRICS_<name>.jsonl
+/// (atomically), next to the bench's own results file. No-op when metrics
+/// are disabled.
+inline void write_metrics(const std::string& name) {
+  if (!obs::enabled()) return;
+  std::string path = "results/METRICS_";
+  path += name;
+  path += ".jsonl";
+  obs::Registry::global().snapshot().save_jsonl(path);
+  std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+}
+
+/// RAII guard for bench mains: enables metrics on entry (unless DSA_METRICS=0)
+/// and dumps the snapshot on every exit path, including early returns.
+struct MetricsScope {
+  explicit MetricsScope(std::string name) : name_(std::move(name)) {
+    if (metrics_requested()) obs::set_enabled(true);
+  }
+  ~MetricsScope() { write_metrics(name_); }
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  std::string name_;
+};
 
 /// Loads (or computes and caches) the PRA dataset at env-configured scale.
 inline std::vector<swarming::PraRecord> dataset() {

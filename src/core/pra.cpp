@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <span>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "stats/descriptive.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -264,9 +268,31 @@ std::vector<ProtocolMetrics> PraEngine::quantify(std::uint32_t begin,
   for (auto& r : remaining) r.store(per_protocol, std::memory_order_relaxed);
   std::atomic<std::size_t> done{0};
 
+  // Instrumentation is hoisted once per chunk: the flag, the metric
+  // handles, and the per-protocol accumulators. Inside the task the only
+  // extra work when disabled is one predictable branch; timing reads only
+  // the steady clock, never RNG state, so results are unaffected.
+  DSA_OBS_PHASE("pra/quantify");
+  const bool obs_on = obs::enabled();
+  obs::Histogram task_ms;
+  obs::Histogram protocol_ms;
+  std::vector<std::atomic<std::uint64_t>> protocol_ns(obs_on ? batch : 0);
+  std::chrono::steady_clock::time_point chunk_start;
+  if (obs_on) {
+    auto& registry = obs::Registry::global();
+    task_ms = registry.histogram(
+        "pra.task_ms", {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000});
+    protocol_ms = registry.histogram(
+        "pra.protocol_ms",
+        {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000});
+    chunk_start = std::chrono::steady_clock::now();
+  }
+
   pool().parallel_for(
       total,
       [&](std::size_t t) {
+        std::chrono::steady_clock::time_point task_start;
+        if (obs_on) task_start = std::chrono::steady_clock::now();
         const std::size_t slot = t / per_protocol;
         const auto p = static_cast<std::uint32_t>(begin + slot);
         std::size_t local = t % per_protocol;
@@ -290,12 +316,38 @@ std::vector<ProtocolMetrics> PraEngine::quantify(std::uint32_t begin,
           win[slot * 2 * games + split * games + game] =
               pi_mean > other_mean ? 1 : 0;
         }
-        if (remaining[slot].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-            config_.progress) {
-          config_.progress(++done, batch);
+        if (obs_on) {
+          const auto task_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - task_start)
+                  .count());
+          task_ms.observe(static_cast<double>(task_ns) / 1e6);
+          protocol_ns[slot].fetch_add(task_ns, std::memory_order_relaxed);
+        }
+        if (remaining[slot].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (obs_on) {
+            protocol_ms.observe(
+                static_cast<double>(
+                    protocol_ns[slot].load(std::memory_order_relaxed)) /
+                1e6);
+          }
+          if (config_.progress) config_.progress(++done, batch);
         }
       },
       grain_for(total));
+
+  if (obs_on) {
+    auto& registry = obs::Registry::global();
+    registry.counter("pra.tasks_completed").add(total);
+    registry.counter("pra.protocols_quantified").add(batch);
+    const double elapsed_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - chunk_start)
+                                 .count();
+    if (elapsed_s > 0.0) {
+      registry.gauge("pra.tasks_per_sec")
+          .set(static_cast<double>(total) / elapsed_s);
+    }
+  }
 
   std::vector<ProtocolMetrics> metrics(batch);
   for (std::size_t slot = 0; slot < batch; ++slot) {

@@ -1,0 +1,37 @@
+// Minimal JSON string escaping shared by the obs writers (metrics JSONL,
+// Chrome trace events). Handles the characters that must be escaped per RFC
+// 8259; everything else passes through verbatim (metric and span names are
+// ASCII by convention).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dsa::obs {
+
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dsa::obs

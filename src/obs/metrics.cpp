@@ -1,0 +1,290 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "util/csv.hpp"
+#include "util/fs.hpp"
+
+namespace dsa::obs {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+// One thread's private slice of every sharded metric. Only the owning
+// thread grows or writes a shard; snapshot() reads it under the registry
+// mutex (growth also holds the mutex, so the deque structure is stable
+// whenever another thread looks at it — the relaxed atomic cells are the
+// only concurrently-touched state).
+struct Registry::Shard {
+  struct HistCells {
+    HistCells(const std::vector<double>* bounds_ptr, std::size_t n_buckets)
+        : bounds(bounds_ptr),
+          buckets(std::make_unique<std::atomic<std::uint64_t>[]>(n_buckets)),
+          n(n_buckets) {
+      for (std::size_t i = 0; i < n; ++i) buckets[i].store(0, kRelaxed);
+    }
+    const std::vector<double>* bounds;  // stable: lives in Impl's deque
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds + 1
+    std::size_t n;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  // bit_cast double accumulator
+  };
+
+  std::deque<std::atomic<std::uint64_t>> counters;
+  std::deque<HistCells> histograms;
+};
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, std::size_t> counter_ids;
+
+  std::vector<std::string> gauge_names;
+  std::unordered_map<std::string, std::size_t> gauge_ids;
+  std::vector<double> gauge_values;  // cold path: guarded by mutex
+
+  std::vector<std::string> hist_names;
+  std::unordered_map<std::string, std::size_t> hist_ids;
+  std::deque<std::vector<double>> hist_bounds;  // deque: stable addresses
+
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+namespace {
+// Registry identity for the thread-local shard cache. Instance ids are
+// never reused, so a cache entry for a destroyed registry can never alias a
+// newly constructed one that happens to land at the same address.
+std::atomic<std::uint64_t> g_next_instance_id{1};
+}  // namespace
+
+Registry::Registry()
+    : impl_(new Impl), instance_id_(g_next_instance_id.fetch_add(1)) {}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Shard& Registry::local_shard() {
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == instance_id_) return *shard;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->shards.push_back(std::make_unique<Shard>());
+  Shard* shard = impl_->shards.back().get();
+  cache.emplace_back(instance_id_, shard);
+  return *shard;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] =
+      impl_->counter_ids.try_emplace(std::string(name),
+                                     impl_->counter_names.size());
+  if (inserted) impl_->counter_names.emplace_back(name);
+  return Counter(this, it->second);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->gauge_ids.try_emplace(std::string(name),
+                                                     impl_->gauge_names.size());
+  if (inserted) {
+    impl_->gauge_names.emplace_back(name);
+    impl_->gauge_values.push_back(0.0);
+  }
+  return Gauge(this, it->second);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("obs::Registry: histogram '" +
+                                std::string(name) + "' needs >= 1 bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::invalid_argument("obs::Registry: histogram '" +
+                                  std::string(name) +
+                                  "' bounds must be strictly ascending");
+    }
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] =
+      impl_->hist_ids.try_emplace(std::string(name), impl_->hist_names.size());
+  if (inserted) {
+    impl_->hist_names.emplace_back(name);
+    impl_->hist_bounds.push_back(std::move(bounds));
+  } else if (impl_->hist_bounds[it->second] != bounds) {
+    throw std::invalid_argument("obs::Registry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with different bounds");
+  }
+  return Histogram(this, it->second);
+}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (registry_ == nullptr || delta == 0) return;
+  Registry::Shard& shard = registry_->local_shard();
+  if (id_ >= shard.counters.size()) {
+    // First touch of this metric on this thread: grow under the registry
+    // mutex so snapshot() never races the deque's structure.
+    std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+    while (shard.counters.size() <= id_) shard.counters.emplace_back(0);
+  }
+  shard.counters[id_].fetch_add(delta, kRelaxed);
+}
+
+void Gauge::set(double value) const noexcept {
+  if (registry_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+  registry_->impl_->gauge_values[id_] = value;
+}
+
+void Gauge::add(double delta) const noexcept {
+  if (registry_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+  registry_->impl_->gauge_values[id_] += delta;
+}
+
+void Histogram::observe(double value) const noexcept {
+  if (registry_ == nullptr) return;
+  Registry::Shard& shard = registry_->local_shard();
+  if (id_ >= shard.histograms.size()) {
+    std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+    while (shard.histograms.size() <= id_) {
+      const std::vector<double>& bounds =
+          registry_->impl_->hist_bounds[shard.histograms.size()];
+      shard.histograms.emplace_back(&bounds, bounds.size() + 1);
+    }
+  }
+  Registry::Shard::HistCells& cells = shard.histograms[id_];
+  const std::vector<double>& bounds = *cells.bounds;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  cells.buckets[bucket].fetch_add(1, kRelaxed);
+  cells.count.fetch_add(1, kRelaxed);
+  // Doubles have no atomic fetch_add pre-C++20-on-all-targets; CAS the bits.
+  std::uint64_t expected = cells.sum_bits.load(kRelaxed);
+  while (!cells.sum_bits.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(
+                    std::bit_cast<double>(expected) + value),
+      kRelaxed, kRelaxed)) {
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+
+  snap.counters.resize(impl_->counter_names.size());
+  for (std::size_t i = 0; i < impl_->counter_names.size(); ++i) {
+    snap.counters[i].name = impl_->counter_names[i];
+  }
+  snap.gauges.resize(impl_->gauge_names.size());
+  for (std::size_t i = 0; i < impl_->gauge_names.size(); ++i) {
+    snap.gauges[i].name = impl_->gauge_names[i];
+    snap.gauges[i].value = impl_->gauge_values[i];
+  }
+  snap.histograms.resize(impl_->hist_names.size());
+  for (std::size_t i = 0; i < impl_->hist_names.size(); ++i) {
+    auto& hist = snap.histograms[i];
+    hist.name = impl_->hist_names[i];
+    hist.bounds = impl_->hist_bounds[i];
+    hist.buckets.assign(hist.bounds.size() + 1, 0);
+  }
+
+  for (const auto& shard : impl_->shards) {
+    for (std::size_t i = 0; i < shard->counters.size(); ++i) {
+      snap.counters[i].value += shard->counters[i].load(kRelaxed);
+    }
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i) {
+      const auto& cells = shard->histograms[i];
+      auto& hist = snap.histograms[i];
+      for (std::size_t b = 0; b < cells.n; ++b) {
+        hist.buckets[b] += cells.buckets[b].load(kRelaxed);
+      }
+      hist.count += cells.count.load(kRelaxed);
+      hist.sum += std::bit_cast<double>(cells.sum_bits.load(kRelaxed));
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& shard : impl_->shards) {
+    for (auto& cell : shard->counters) cell.store(0, kRelaxed);
+    for (auto& cells : shard->histograms) {
+      for (std::size_t b = 0; b < cells.n; ++b) {
+        cells.buckets[b].store(0, kRelaxed);
+      }
+      cells.count.store(0, kRelaxed);
+      cells.sum_bits.store(0, kRelaxed);
+    }
+  }
+  std::fill(impl_->gauge_values.begin(), impl_->gauge_values.end(), 0.0);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+std::string MetricsSnapshot::to_jsonl() const {
+  std::ostringstream out;
+  for (const auto& c : counters) {
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(c.name)
+        << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& g : gauges) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(g.name)
+        << "\",\"value\":" << util::format_number(g.value) << "}\n";
+  }
+  for (const auto& h : histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
+        << "\",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out << ',';
+      out << util::format_number(h.bounds[i]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out << ',';
+      out << h.buckets[i];
+    }
+    out << "],\"count\":" << h.count
+        << ",\"sum\":" << util::format_number(h.sum) << "}\n";
+  }
+  return out.str();
+}
+
+void MetricsSnapshot::save_jsonl(const std::filesystem::path& path) const {
+  util::atomic_write(path, to_jsonl());
+}
+
+}  // namespace dsa::obs

@@ -1,0 +1,149 @@
+// Thread-sharded metrics registry: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Write path: each thread gets its own shard (created on first touch, owned
+// by the registry), and a counter add or histogram observe is one relaxed
+// atomic RMW on that shard — no locks, no cross-thread cache-line traffic.
+// Gauges are last-write-wins process-global values (set rarely, read at
+// snapshot time), so they live in the registry directly.
+//
+// Read path: snapshot() takes the registry mutex, sums every shard, and
+// returns a plain-value MetricsSnapshot. Shards are never destroyed before
+// the registry is, so totals survive thread exit (a pool worker's counts
+// stay merged after the pool is torn down).
+//
+// Handles (Counter/Gauge/Histogram) are cheap POD-ish values; register once
+// (name-idempotent) and keep them next to the hot loop. All operations are
+// safe on a default-constructed handle (they no-op), so instrumented code
+// can hoist handles unconditionally and only pay when observability is on.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsa::obs {
+
+class Registry;
+
+/// Monotone event counter (uint64 adds).
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t delta) const noexcept;
+  void increment() const noexcept { add(1); }
+
+ private:
+  friend class Registry;
+  Counter(Registry* registry, std::size_t id) : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Last-write-wins double, plus an accumulate form for double-valued totals
+/// (e.g. KB lost) that have no integral counter representation.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept;
+  void add(double delta) const noexcept;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* registry, std::size_t id) : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+/// one overflow bucket; count and sum ride along for mean/rate math.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Point-in-time merged view of every metric; plain values, safe to keep.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;          // upper bounds, ascending
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a named counter; 0 when absent (convenient in tests/reports).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  /// Value of a named gauge; 0.0 when absent.
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+
+  /// One JSON object per line: {"type":"counter","name":...,"value":...},
+  /// {"type":"gauge",...}, {"type":"histogram",...}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// to_jsonl() written via util::atomic_write (never a torn file).
+  void save_jsonl(const std::filesystem::path& path) const;
+};
+
+/// The registry. Most code uses the process-wide `global()` instance;
+/// independent instances exist for tests.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Registers (or finds) a metric by name. Idempotent: the same name
+  /// returns a handle to the same metric. A histogram re-registration must
+  /// pass identical bounds (throws std::invalid_argument otherwise); bounds
+  /// must be non-empty and strictly ascending.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merged totals across all shards, metrics in registration order.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (definitions stay registered). Only safe when no
+  /// other thread is writing concurrently — a test/CLI-epilogue operation.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard;
+  struct Impl;
+  Shard& local_shard();
+
+  Impl* impl_;
+  std::uint64_t instance_id_;
+};
+
+}  // namespace dsa::obs

@@ -1,0 +1,137 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dsa::obs {
+
+namespace {
+struct Accum {
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+};
+}  // namespace
+
+// One thread's open-span path plus its aggregation map. The path/stack
+// fields are owner-only; `totals` is guarded by `mutex` because report()
+// reads it from another thread (the owner locks it once per completed span,
+// and spans are coarse, so the lock never contends in steady state).
+struct Profiler::ThreadState {
+  std::mutex mutex;
+  std::unordered_map<std::string, Accum> totals;
+
+  std::string path;  // owner-only: "a/b/c" of currently open spans
+};
+
+struct Profiler::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadState>> states;
+};
+
+Profiler::Profiler() : impl_(new Impl) {}
+Profiler::~Profiler() { delete impl_; }
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+Profiler::ThreadState& Profiler::local_state() {
+  thread_local ThreadState* cached = nullptr;
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->states.push_back(std::make_unique<ThreadState>());
+  cached = impl_->states.back().get();
+  return *cached;
+}
+
+PhaseReport Profiler::report() const {
+  std::unordered_map<std::string, Accum> merged;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& state : impl_->states) {
+      std::lock_guard<std::mutex> state_lock(state->mutex);
+      for (const auto& [path, accum] : state->totals) {
+        Accum& into = merged[path];
+        into.count += accum.count;
+        into.total_ns += accum.total_ns;
+      }
+    }
+  }
+  PhaseReport result;
+  result.reserve(merged.size());
+  for (auto& [path, accum] : merged) {
+    result.push_back({path, accum.count, accum.total_ns / 1e6});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              return a.path < b.path;
+            });
+  return result;
+}
+
+std::string Profiler::report_text() const {
+  const PhaseReport phases = report();
+  std::size_t width = 5;
+  for (const auto& phase : phases) width = std::max(width, phase.path.size());
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s  %10s  %12s  %12s\n",
+                static_cast<int>(width), "phase", "count", "total ms",
+                "mean ms");
+  out << line;
+  for (const auto& phase : phases) {
+    const double mean =
+        phase.count ? phase.total_ms / static_cast<double>(phase.count) : 0.0;
+    std::snprintf(line, sizeof(line), "%-*s  %10llu  %12.3f  %12.6f\n",
+                  static_cast<int>(width), phase.path.c_str(),
+                  static_cast<unsigned long long>(phase.count), phase.total_ms,
+                  mean);
+    out << line;
+  }
+  return out.str();
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& state : impl_->states) {
+    std::lock_guard<std::mutex> state_lock(state->mutex);
+    state->totals.clear();
+  }
+}
+
+ScopedPhase::ScopedPhase(std::string_view name) {
+  if (!enabled()) return;
+  Profiler::ThreadState& state = Profiler::global().local_state();
+  state_ = &state;
+  prev_len_ = state.path.size();
+  if (!state.path.empty()) state.path += '/';
+  state.path += name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (state_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(end - start_).count();
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    Accum& accum = state_->totals[state_->path];
+    accum.count += 1;
+    accum.total_ns += ns;
+  }
+  TraceSink& sink = TraceSink::global();
+  if (sink.active()) sink.complete(state_->path, start_, end);
+  state_->path.resize(prev_len_);
+}
+
+}  // namespace dsa::obs

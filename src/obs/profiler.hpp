@@ -1,0 +1,87 @@
+// RAII scoped-timer phase profiler.
+//
+// `DSA_OBS_PHASE("sweep/quantify")` (or a ScopedPhase on the stack) times
+// the enclosing scope. Nested phases build hierarchical paths — a
+// "rank" phase inside a "run" phase aggregates under "run/rank" — and each
+// thread accumulates {count, total wall time} per path locally, so the hot
+// path costs two steady_clock reads plus one short lock of the thread's own
+// aggregation map per span (spans are coarse: per run / per task, never per
+// round). `Profiler::global().report()` merges every thread's totals.
+//
+// When a TraceSink capture is active, each completed span is also emitted
+// as a Chrome trace-event slice, giving the same hierarchy on a timeline.
+//
+// Everything is inert while `obs::enabled()` is false: constructing a
+// ScopedPhase is then a single predictable branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dsa::obs {
+
+/// Aggregated wall time of one phase path across all threads.
+struct PhaseStat {
+  std::string path;  // "parent/child" span hierarchy
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+
+using PhaseReport = std::vector<PhaseStat>;
+
+class Profiler {
+ public:
+  static Profiler& global();
+
+  /// Merged per-path totals across every thread, sorted by path.
+  [[nodiscard]] PhaseReport report() const;
+
+  /// report() rendered as an aligned text table (for stderr epilogues).
+  [[nodiscard]] std::string report_text() const;
+
+  /// Drops all accumulated totals. Only call with no spans in flight.
+  void reset();
+
+ private:
+  friend class ScopedPhase;
+  struct ThreadState;
+  Profiler();
+  ~Profiler();
+  ThreadState& local_state();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Times the enclosing scope under `name`, nested inside any phases already
+/// open on this thread. No-op when observability is disabled.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler::ThreadState* state_ = nullptr;  // null when inactive
+  std::size_t prev_len_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define DSA_OBS_CONCAT_INNER(a, b) a##b
+#define DSA_OBS_CONCAT(a, b) DSA_OBS_CONCAT_INNER(a, b)
+
+#if DSA_OBS_COMPILED_IN
+#define DSA_OBS_PHASE(name) \
+  ::dsa::obs::ScopedPhase DSA_OBS_CONCAT(dsa_obs_phase_, __LINE__)(name)
+#else
+#define DSA_OBS_PHASE(name) ((void)0)
+#endif
+
+}  // namespace dsa::obs

@@ -1,0 +1,64 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+namespace dsa::obs {
+
+namespace {
+constexpr std::chrono::milliseconds kRedrawInterval{100};
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::size_t total,
+                             bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      start_(std::chrono::steady_clock::now()),
+      last_draw_(start_ - kRedrawInterval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::update(std::size_t done) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_ || done <= best_done_) return;
+  best_done_ = done;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_draw_ < kRedrawInterval && done < total_) return;
+  last_draw_ = now;
+  draw(done, /*final_line=*/false);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  if (!drew_) return;  // never showed anything; stay silent
+  draw(best_done_, /*final_line=*/true);
+}
+
+void ProgressMeter::draw(std::size_t done, bool final_line) {
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) /
+                       static_cast<double>(total_)
+                 : 100.0;
+  char eta[32] = "--:--";
+  if (rate > 0.0 && done < total_) {
+    const double remaining = static_cast<double>(total_ - done) / rate;
+    std::snprintf(eta, sizeof(eta), "%02d:%02d",
+                  static_cast<int>(remaining) / 60,
+                  static_cast<int>(remaining) % 60);
+  }
+  std::fprintf(stderr, "\r  %s: %zu/%zu (%5.1f%%)  %.1f/s  ETA %s   ",
+               label_.c_str(), done, total_, pct, rate, eta);
+  if (final_line) std::fputc('\n', stderr);
+  std::fflush(stderr);
+  drew_ = true;
+}
+
+}  // namespace dsa::obs

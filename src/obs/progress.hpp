@@ -1,0 +1,50 @@
+// Live progress + ETA line for long sweeps.
+//
+//   obs::ProgressMeter meter("pra", total_protocols);
+//   ...concurrent workers... meter.update(done_so_far);
+//   meter.finish();
+//
+// update() is thread-safe, monotone (a stale lower `done` never moves the
+// meter backwards), and rate-limited: it redraws a single `\r`-overwritten
+// stderr line at most ~10×/s, showing items/s and the remaining-time
+// estimate. Progress rendering is independent of the obs master switch —
+// it reads only the wall clock and writes only stderr, so it cannot affect
+// results. Construct with `enabled=false` for a fully silent meter.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace dsa::obs {
+
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string label, std::size_t total, bool enabled = true);
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Reports that `done` items (of `total`) are complete.
+  void update(std::size_t done);
+
+  /// Draws the final line and a newline. Idempotent; also run by the
+  /// destructor if update() ever drew anything.
+  void finish();
+
+ private:
+  void draw(std::size_t done, bool final_line);
+
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  std::mutex mutex_;
+  std::size_t best_done_ = 0;
+  bool drew_ = false;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_draw_;
+};
+
+}  // namespace dsa::obs

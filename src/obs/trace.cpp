@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_util.hpp"
+#include "obs/obs.hpp"
+#include "util/fs.hpp"
+
+namespace dsa::obs {
+
+namespace {
+
+struct Event {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  bool is_instant = false;
+  std::uint32_t tid = 0;
+};
+
+double micros_between(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::string format_micros(double us) {
+  // Three decimals (nanosecond resolution) without scientific notation —
+  // Chrome's JSON loader accepts fractional microsecond timestamps.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+struct TraceSink::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceSink::Impl {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::filesystem::path out_path;
+  std::chrono::steady_clock::time_point t0;
+};
+
+TraceSink::TraceSink() : impl_(new Impl) {}
+TraceSink::~TraceSink() { delete impl_; }
+
+TraceSink& TraceSink::global() {
+  static TraceSink instance;
+  return instance;
+}
+
+TraceSink::ThreadBuffer& TraceSink::local_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->buffers.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = impl_->buffers.back().get();
+  buffer->tid = impl_->next_tid++;
+  cached = buffer;
+  return *buffer;
+}
+
+void TraceSink::start(std::filesystem::path out_path) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->out_path = std::move(out_path);
+    impl_->t0 = std::chrono::steady_clock::now();
+    for (auto& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+    }
+  }
+  active_.store(true, std::memory_order_release);
+  set_enabled(true);
+}
+
+void TraceSink::complete(std::string_view name,
+                         std::chrono::steady_clock::time_point begin,
+                         std::chrono::steady_clock::time_point end) {
+  if (!active()) return;
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.name = std::string(name);
+  event.ts_us = micros_between(impl_->t0, begin);
+  event.dur_us = micros_between(begin, end);
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+void TraceSink::instant(std::string_view name) {
+  if (!active()) return;
+  ThreadBuffer& buffer = local_buffer();
+  Event event;
+  event.name = std::string(name);
+  event.ts_us = micros_between(impl_->t0, std::chrono::steady_clock::now());
+  event.is_instant = true;
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::size_t TraceSink::stop_and_write() {
+  if (!active()) return 0;
+  active_.store(false, std::memory_order_relaxed);
+
+  std::vector<Event> merged;
+  std::filesystem::path out_path;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    out_path = impl_->out_path;
+    for (auto& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(),
+                    std::make_move_iterator(buffer->events.begin()),
+                    std::make_move_iterator(buffer->events.end()));
+      buffer->events.clear();
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+
+  std::ostringstream json;
+  json << "{\"traceEvents\":[";
+  json << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"dsa\"}}";
+  for (const Event& event : merged) {
+    json << ",\n{\"name\":\"" << json_escape(event.name)
+         << "\",\"cat\":\"dsa\",\"ph\":\"" << (event.is_instant ? 'i' : 'X')
+         << "\",\"ts\":" << format_micros(event.ts_us);
+    if (event.is_instant) {
+      json << ",\"s\":\"g\"";
+    } else {
+      json << ",\"dur\":" << format_micros(event.dur_us);
+    }
+    json << ",\"pid\":1,\"tid\":" << event.tid << "}";
+  }
+  json << "],\"displayTimeUnit\":\"ms\"}\n";
+
+  util::atomic_write(out_path, json.str());
+  return merged.size();
+}
+
+}  // namespace dsa::obs

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "swarming/bandwidth.hpp"
 #include "util/rng.hpp"
 
@@ -128,6 +131,7 @@ class SwarmEngine {
   }
 
   SwarmResult run() {
+    DSA_OBS_PHASE("swarm/run");
     SwarmResult result;
     std::size_t tick = 0;
     for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
@@ -161,7 +165,25 @@ class SwarmEngine {
         recoveries_ > 0 ? recovery_total_ / static_cast<double>(recoveries_)
                         : -1.0;
     result.fault_stats = stats_;
+    flush_metrics(tick);
     return result;
+  }
+
+  /// Exports the run's tick count and FaultStats into the metrics registry
+  /// (one flush per run; the tick loop itself is untouched).
+  void flush_metrics(std::size_t ticks) const {
+    if (!obs::enabled()) return;
+    auto& registry = obs::Registry::global();
+    registry.counter("swarm.runs").increment();
+    registry.counter("swarm.ticks").add(ticks);
+    registry.counter("swarm.fault.messages_lost").add(stats_.messages_lost);
+    registry.gauge("swarm.fault.lost_kb").add(stats_.lost_kb);
+    registry.counter("swarm.fault.retries_issued").add(stats_.retries_issued);
+    registry.counter("swarm.fault.crashes").add(stats_.crashes);
+    registry.counter("swarm.fault.pieces_wiped").add(stats_.pieces_wiped);
+    registry.counter("swarm.fault.stall_ticks").add(stats_.stall_ticks);
+    registry.counter("swarm.fault.seeder_down_ticks")
+        .add(stats_.seeder_down_ticks);
   }
 
  private:

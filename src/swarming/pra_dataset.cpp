@@ -1,10 +1,16 @@
 #include "swarming/pra_dataset.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "swarming/dsa_model.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -57,7 +63,8 @@ PraDatasetOptions PraDatasetOptions::from_environment() {
       static_cast<std::size_t>(util::env_int("DSA_THREADS", 0));
   options.pra.seed =
       static_cast<std::uint64_t>(util::env_int("DSA_SEED", 2011));
-  options.engine = util::env_string("DSA_ENGINE", "sparse") == "dense"
+  options.engine = util::env_enum("DSA_ENGINE", "sparse", {"sparse", "dense"})
+                               == "dense"
                        ? SimEngine::kDense
                        : SimEngine::kSparse;
   options.path = util::env_string("DSA_RESULTS", "results/pra_results.csv");
@@ -131,7 +138,19 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
   util::ThreadPool pool(options.pra.threads == 0
                             ? util::ThreadPool::default_thread_count()
                             : options.pra.threads);
-  core::PraEngine engine(model, options.pra, &pool);
+
+  // Live progress + ETA over the whole 3270-protocol sweep. The engine's
+  // per-chunk progress callback reports chunk-local completions; adding the
+  // chunk base converts them to a global protocol count. Progress reads
+  // only the wall clock and writes only stderr, so it cannot change any
+  // result (and it stays monotone even with out-of-order callbacks).
+  obs::ProgressMeter meter("pra", kProtocolCount, verbose);
+  std::atomic<std::size_t> chunk_base{0};
+  core::PraConfig pra_config = options.pra;
+  pra_config.progress = [&meter, &chunk_base](std::size_t done, std::size_t) {
+    meter.update(chunk_base.load(std::memory_order_relaxed) + done);
+  };
+  core::PraEngine engine(model, pra_config, &pool);
 
   // The sweep runs protocol-by-protocol (all three metrics per protocol)
   // instead of metric-by-metric so a checkpoint prefix is self-contained.
@@ -144,9 +163,18 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
     const std::vector<PraRecord> resumed = load_pra_checkpoint(checkpoint);
     for (const PraRecord& rec : resumed) records[rec.protocol] = rec;
     first_missing = resumed.size();
-    if (verbose && first_missing > 0) {
-      std::fprintf(stderr, "resuming PRA sweep from checkpoint %s (%zu/%u)\n",
-                   checkpoint.string().c_str(), first_missing, kProtocolCount);
+    if (first_missing > 0) {
+      if (verbose) {
+        std::fprintf(stderr,
+                     "resuming PRA sweep from checkpoint %s (%zu/%u)\n",
+                     checkpoint.string().c_str(), first_missing,
+                     kProtocolCount);
+      }
+      if (obs::enabled()) {
+        obs::Registry::global().counter("pra.checkpoint_resumes").increment();
+      }
+      obs::TraceSink::global().instant("pra/checkpoint-resume");
+      meter.update(first_missing);
     }
   }
 
@@ -157,6 +185,7 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
        begin += chunk_size) {
     const std::size_t end = std::min<std::size_t>(begin + chunk_size,
                                                   kProtocolCount);
+    chunk_base.store(begin, std::memory_order_relaxed);
     // One flattened task grid per chunk: every simulation of every protocol
     // in [begin, end) schedules independently, so a slow protocol cannot
     // straggle the chunk the way the old per-protocol parallel_for could.
@@ -172,12 +201,16 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
       rec.aggressiveness = metrics[i].aggressiveness;
     }
     if (options.checkpoint_interval > 0 && end < kProtocolCount) {
+      DSA_OBS_PHASE("pra/checkpoint-save");
       save_pra_checkpoint(records, end, checkpoint);
+      if (obs::enabled()) {
+        obs::Registry::global().counter("pra.checkpoint_saves").increment();
+      }
+      obs::TraceSink::global().instant("pra/checkpoint-save");
     }
-    if (verbose) {
-      std::fprintf(stderr, "  pra: %zu/%u protocols\n", end, kProtocolCount);
-    }
+    meter.update(end);
   }
+  meter.finish();
 
   // Normalize performance against the global best only once every raw value
   // exists (a checkpoint prefix has no meaningful normalization).

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+
 namespace dsa::swarming {
 
 void SimulationConfig::validate() const {
@@ -119,10 +123,18 @@ struct SimWorkspace::Impl {
 
   std::uint64_t next_epoch() noexcept { return ++epoch_counter; }
 
+  /// True when the last prepare() found the O(n^2) arrays already sized.
+  bool last_prepare_reused = false;
+
   /// Readies the workspace for a fresh n-peer run. O(n) work and, once the
   /// buffers have grown to this n, zero allocations.
   void prepare(std::size_t n, const std::vector<double>& caps) {
     const std::size_t cells = n * n;
+    // A reuse hit means the epoch-stamped arrays were already big enough —
+    // the whole run proceeds allocation-free (reported as the
+    // sim.sparse.workspace_reuse_hits metric).
+    last_prepare_reused =
+        gen[0].cell.size() >= cells && streak.size() >= cells;
     for (Generation& g : gen) {
       g.cell.resize(cells);
       g.epoch = next_epoch();
@@ -197,6 +209,7 @@ class DenseEngine {
   }
 
   SimulationOutcome run() {
+    DSA_OBS_PHASE("sim/run");
     SimulationOutcome outcome;
     if (config_.record_round_series) {
       outcome.round_throughput.reserve(config_.rounds);
@@ -216,6 +229,7 @@ class DenseEngine {
           total_received_[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    flush_metrics();
     return outcome;
   }
 
@@ -250,6 +264,7 @@ class DenseEngine {
       is_candidate_[j] = known ? 1 : 0;
       if (known) candidates_.push_back(static_cast<std::uint32_t>(j));
     }
+    candidates_scanned_ += n_;  // the dense build always walks the full row
 
     // 2. Rank and select the top k partners.
     const std::size_t k = spec.partner_slots;
@@ -605,6 +620,25 @@ class DenseEngine {
   std::vector<std::uint32_t> victim_scratch_;
 
   std::size_t peers_replaced_ = 0;
+  // Plain local tallies, flushed to the metrics registry once per run —
+  // the hot loops never touch an atomic.
+  std::size_t candidates_scanned_ = 0;
+
+  void flush_metrics() const {
+    if (!obs::enabled()) return;
+    static const obs::Counter runs =
+        obs::Registry::global().counter("sim.dense.runs");
+    static const obs::Counter rounds =
+        obs::Registry::global().counter("sim.dense.rounds");
+    static const obs::Counter scanned =
+        obs::Registry::global().counter("sim.dense.candidates_scanned");
+    static const obs::Counter replaced =
+        obs::Registry::global().counter("sim.dense.peers_replaced");
+    runs.increment();
+    rounds.add(config_.rounds);
+    scanned.add(candidates_scanned_);
+    replaced.add(peers_replaced_);
+  }
 };
 
 /// The production hot path: same model, same RNG draw sequence, same
@@ -643,6 +677,7 @@ class SparseEngine {
   }
 
   SimulationOutcome run() {
+    DSA_OBS_PHASE("sim/run");
     SimulationOutcome outcome;
     if (config_.record_round_series) {
       outcome.round_throughput.reserve(config_.rounds);
@@ -664,6 +699,7 @@ class SparseEngine {
           ws_.total_received[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    flush_metrics();
     return outcome;
   }
 
@@ -759,6 +795,7 @@ class SparseEngine {
     // 1. Candidate list (see build_candidates).
     build_candidates(me, two_rounds);
     auto& candidates = ws_.candidates;
+    candidates_scanned_ += candidates.size();  // only live slots are touched
     // Snapshot the ascending candidate set before ranking permutes the
     // list: it is the stranger-exclusion set and the mark-clearing list.
     ws_.excluded_scratch.assign(candidates.begin(), candidates.end());
@@ -883,6 +920,7 @@ class SparseEngine {
       constexpr std::size_t kSmallTop = 16;  // design space: k <= 9
       const std::size_t count = candidates.size();
       if (top <= kSmallTop) {
+        ++topk_boundary_scans_;
         // Boundary-scan selection: keep a sorted window of the best `top`
         // seen so far; most entries fail the single compare against the
         // window's worst and cost nothing more.
@@ -1232,6 +1270,32 @@ class SparseEngine {
   int next_ = 2;
 
   std::size_t peers_replaced_ = 0;
+  // Plain local tallies, flushed to the metrics registry once per run —
+  // the hot loops never touch an atomic.
+  std::size_t candidates_scanned_ = 0;
+  std::size_t topk_boundary_scans_ = 0;
+
+  void flush_metrics() const {
+    if (!obs::enabled()) return;
+    static const obs::Counter runs =
+        obs::Registry::global().counter("sim.sparse.runs");
+    static const obs::Counter rounds =
+        obs::Registry::global().counter("sim.sparse.rounds");
+    static const obs::Counter scanned =
+        obs::Registry::global().counter("sim.sparse.candidates_scanned");
+    static const obs::Counter boundary =
+        obs::Registry::global().counter("sim.sparse.topk_boundary_scans");
+    static const obs::Counter reuse =
+        obs::Registry::global().counter("sim.sparse.workspace_reuse_hits");
+    static const obs::Counter replaced =
+        obs::Registry::global().counter("sim.sparse.peers_replaced");
+    runs.increment();
+    rounds.add(config_.rounds);
+    scanned.add(candidates_scanned_);
+    boundary.add(topk_boundary_scans_);
+    if (ws_.last_prepare_reused) reuse.increment();
+    replaced.add(peers_replaced_);
+  }
 };
 
 }  // namespace

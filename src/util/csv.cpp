@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fs.hpp"
+
 namespace dsa::util {
 
 namespace {
@@ -65,43 +67,20 @@ double CsvTable::number_at(std::size_t row, const std::string& col) const {
 }
 
 void CsvTable::save(const std::filesystem::path& path) const {
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path());
-  }
-  // Write to a sibling temporary and rename into place so readers (and
-  // checkpoint resumers) never observe a half-written table.
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("CsvTable: cannot open for write: " +
-                               tmp.string());
+  // Rendered in memory and handed to atomic_write (write `<path>.tmp`,
+  // rename) so readers and checkpoint resumers never observe a
+  // half-written table.
+  std::string text;
+  auto write_row = [&text](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) text += ',';
+      text += fields[i];
     }
-    auto write_row = [&out](const std::vector<std::string>& fields) {
-      for (std::size_t i = 0; i < fields.size(); ++i) {
-        if (i) out << ',';
-        out << fields[i];
-      }
-      out << '\n';
-    };
-    write_row(header_);
-    for (const auto& row : rows_) write_row(row);
-    out.flush();
-    if (!out) {
-      std::error_code ignored;
-      std::filesystem::remove(tmp, ignored);
-      throw std::runtime_error("CsvTable: write failed: " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    throw std::runtime_error("CsvTable: rename to " + path.string() +
-                             " failed: " + ec.message());
-  }
+    text += '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  atomic_write(path, text);
 }
 
 CsvTable CsvTable::load(const std::filesystem::path& path) {

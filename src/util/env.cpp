@@ -1,14 +1,33 @@
 #include "util/env.hpp"
 
+#include <cctype>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace dsa::util {
 
 namespace {
+
 const char* raw(const char* name) {
   const char* value = std::getenv(name);
   return (value == nullptr || *value == '\0') ? nullptr : value;
 }
+
+[[noreturn]] void fail(const char* name, const char* value,
+                       const std::string& expected) {
+  throw std::runtime_error(std::string(name) + "='" + value +
+                           "' is invalid: expected " + expected);
+}
+
+// True when `rest` (the unparsed tail) is only whitespace.
+bool only_space(const char* rest) {
+  while (*rest != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*rest))) return false;
+    ++rest;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string env_string(const char* name, const std::string& fallback) {
@@ -21,7 +40,10 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   if (!value) return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value || parsed < 0) return fallback;
+  if (end == value || !only_space(end)) {
+    fail(name, value, "an integer");
+  }
+  if (parsed < 0) fail(name, value, "a non-negative integer");
   return static_cast<std::int64_t>(parsed);
 }
 
@@ -30,7 +52,9 @@ double env_double(const char* name, double fallback) {
   if (!value) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
-  if (end == value) return fallback;
+  if (end == value || !only_space(end)) {
+    fail(name, value, "a number");
+  }
   return parsed;
 }
 
@@ -39,6 +63,19 @@ bool env_flag(const char* name) {
   if (!value) return false;
   const std::string text(value);
   return text != "0" && text != "false" && text != "FALSE" && text != "no";
+}
+
+std::string env_enum(const char* name, const std::string& fallback,
+                     std::initializer_list<const char*> allowed) {
+  const char* value = raw(name);
+  if (!value) return fallback;
+  std::string choices;
+  for (const char* choice : allowed) {
+    if (value == std::string(choice)) return value;
+    if (!choices.empty()) choices += '|';
+    choices += choice;
+  }
+  fail(name, value, "one of " + choices);
 }
 
 }  // namespace dsa::util

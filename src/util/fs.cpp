@@ -1,0 +1,41 @@
+#include "util/fs.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsa::util {
+
+void atomic_write(const std::filesystem::path& path,
+                  std::string_view contents) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("atomic_write: cannot open for write: " +
+                               tmp.string());
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error("atomic_write: write failed: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("atomic_write: rename to " + path.string() +
+                             " failed: " + ec.message());
+  }
+}
+
+}  // namespace dsa::util

@@ -6,12 +6,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 #include <vector>
 
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/fs.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
@@ -196,6 +198,34 @@ TEST(FormatNumber, RoundTripsTypicalMetrics) {
   }
 }
 
+// ------------------------------------------------------- atomic_write ----
+
+TEST(AtomicWrite, WritesContentsAndLeavesNoTmp) {
+  const auto dir = std::filesystem::temp_directory_path() / "dsa_fs_test";
+  const auto path = dir / "nested" / "out.json";
+  std::filesystem::remove_all(dir);
+  atomic_write(path, "{\"ok\":true}\n");
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"ok\":true}\n");
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicWrite, ReplacesExistingFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "dsa_fs_test2";
+  const auto path = dir / "out.txt";
+  std::filesystem::remove_all(dir);
+  atomic_write(path, "first");
+  atomic_write(path, "second");
+  std::ifstream in(path);
+  std::string text;
+  std::getline(in, text);
+  EXPECT_EQ(text, "second");
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------- env ----
 
 TEST(Env, FallsBackWhenUnset) {
@@ -213,7 +243,6 @@ TEST(Env, ParsesSetValues) {
   EXPECT_DOUBLE_EQ(env_double("DSA_TEST_VAR", 0.0), 2.5);
   setenv("DSA_TEST_VAR", "text", 1);
   EXPECT_EQ(env_string("DSA_TEST_VAR", ""), "text");
-  EXPECT_EQ(env_int("DSA_TEST_VAR", 7), 7);  // unparsable -> fallback
   setenv("DSA_TEST_VAR", "1", 1);
   EXPECT_TRUE(env_flag("DSA_TEST_VAR"));
   setenv("DSA_TEST_VAR", "0", 1);
@@ -221,9 +250,42 @@ TEST(Env, ParsesSetValues) {
   unsetenv("DSA_TEST_VAR");
 }
 
-TEST(Env, NegativeIntFallsBack) {
+// Set-but-invalid values must fail loudly, not silently fall back — a
+// typo'd DSA_THREADS would otherwise run a different experiment.
+TEST(Env, InvalidSetValuesThrow) {
+  setenv("DSA_TEST_VAR", "text", 1);
+  EXPECT_THROW(env_int("DSA_TEST_VAR", 7), std::runtime_error);
+  EXPECT_THROW(env_double("DSA_TEST_VAR", 0.5), std::runtime_error);
+  setenv("DSA_TEST_VAR", "12abc", 1);  // trailing garbage (e.g. "1O" typo)
+  EXPECT_THROW(env_int("DSA_TEST_VAR", 7), std::runtime_error);
+  setenv("DSA_TEST_VAR", "2.5mb", 1);
+  EXPECT_THROW(env_double("DSA_TEST_VAR", 0.5), std::runtime_error);
   setenv("DSA_TEST_VAR", "-3", 1);
-  EXPECT_EQ(env_int("DSA_TEST_VAR", 9), 9);
+  EXPECT_THROW(env_int("DSA_TEST_VAR", 9), std::runtime_error);
+  unsetenv("DSA_TEST_VAR");
+}
+
+TEST(Env, InvalidMessageNamesVariableAndValue) {
+  setenv("DSA_TEST_VAR", "1O", 1);
+  try {
+    env_int("DSA_TEST_VAR", 7);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("DSA_TEST_VAR"), std::string::npos) << what;
+    EXPECT_NE(what.find("1O"), std::string::npos) << what;
+  }
+  unsetenv("DSA_TEST_VAR");
+}
+
+TEST(Env, EnumAcceptsAllowedRejectsOthers) {
+  unsetenv("DSA_TEST_VAR");
+  EXPECT_EQ(env_enum("DSA_TEST_VAR", "sparse", {"sparse", "dense"}), "sparse");
+  setenv("DSA_TEST_VAR", "dense", 1);
+  EXPECT_EQ(env_enum("DSA_TEST_VAR", "sparse", {"sparse", "dense"}), "dense");
+  setenv("DSA_TEST_VAR", "Dense", 1);
+  EXPECT_THROW(env_enum("DSA_TEST_VAR", "sparse", {"sparse", "dense"}),
+               std::runtime_error);
   unsetenv("DSA_TEST_VAR");
 }
 

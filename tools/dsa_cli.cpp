@@ -13,6 +13,7 @@
 // space ids. Every command accepts --seed.
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -24,12 +25,33 @@
 #include "core/subspace.hpp"
 #include "fault/fault_plan.hpp"
 #include "gametheory/expected_wins.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
+#include "swarming/pra_dataset.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+
+// Build configuration baked in by tools/CMakeLists.txt so every trace or
+// metrics file is attributable to the binary that produced it.
+#ifndef DSA_BUILD_COMPILER
+#define DSA_BUILD_COMPILER "unknown"
+#endif
+#ifndef DSA_BUILD_TYPE
+#define DSA_BUILD_TYPE "unknown"
+#endif
+#ifndef DSA_BUILD_NATIVE
+#define DSA_BUILD_NATIVE "OFF"
+#endif
+#ifndef DSA_BUILD_SANITIZE
+#define DSA_BUILD_SANITIZE ""
+#endif
 
 namespace {
 
@@ -48,11 +70,22 @@ commands:
   pra --protocols P,P,...       PRA quantification over a protocol subset
                                 (--threads N worker threads; default
                                 DSA_THREADS, 0 = hardware concurrency)
+  sweep                         full design-space PRA sweep with live progress,
+                                checkpoint resume, and a cached CSV dataset
+                                (--out FILE --threads N --force --quiet;
+                                scale via DSA_FULL / DSA_ROUNDS / ...)
   swarm --a C --b C             piece-level swarm head-to-head (Sec. 5)
   nash --na N --nb N --nc N --ur N
                                 Sec. 2.2/Appendix analytical model
   stability --protocol P        ESS stability against sampled mutants
   evolve --protocols P,P,...    replicator dynamics over a protocol menu
+  version                       print the build configuration (also --version)
+
+global observability flags (valid with every command):
+  --trace FILE       record a Chrome trace-event JSON of the run; load it in
+                     chrome://tracing or https://ui.perfetto.dev
+  --metrics-out FILE write a JSONL metrics snapshot (counters, gauges,
+                     histograms) when the command finishes
 
 common flags: --rounds N --runs N --seed N --population N --fraction X
 protocol names: bt, birds, loyal, sorts, random, or a numeric id
@@ -423,23 +456,95 @@ int cmd_evolve(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_sweep(const util::CliArgs& args) {
+  PraDatasetOptions options = PraDatasetOptions::from_environment();
+  options.pra.threads = static_cast<std::size_t>(args.get_int(
+      "threads", static_cast<std::int64_t>(options.pra.threads)));
+  options.path = args.get("out", options.path.string());
+  const bool force = args.has("force");
+  const bool quiet = args.has("quiet");
+  reject_unknown_flags(args);
+
+  if (force) {
+    std::error_code ignored;
+    std::filesystem::remove(options.path, ignored);
+  }
+  const std::vector<PraRecord> records =
+      load_or_compute_pra_dataset(options, /*verbose=*/!quiet);
+  const PraRecord* best = nullptr;
+  for (const PraRecord& rec : records) {
+    if (best == nullptr || rec.performance > best->performance) best = &rec;
+  }
+  std::printf("%zu protocols -> %s\n", records.size(),
+              options.path.string().c_str());
+  if (best != nullptr) {
+    std::printf("best performance: #%u  %s\n", best->protocol,
+                best->spec.describe().c_str());
+  }
+  return 0;
+}
+
+int cmd_version() {
+  const char* sanitize = DSA_BUILD_SANITIZE;
+  std::printf("dsa_cli - design space analysis for distributed incentives\n");
+  std::printf("  compiler:        %s\n", DSA_BUILD_COMPILER);
+  std::printf("  build type:      %s\n", DSA_BUILD_TYPE);
+  std::printf("  DSA_NATIVE:      %s\n", DSA_BUILD_NATIVE);
+  std::printf("  DSA_SANITIZE:    %s\n",
+              sanitize[0] != '\0' ? sanitize : "(none)");
+  std::printf("  observability:   %s\n",
+              DSA_OBS_COMPILED_IN != 0 ? "compiled in (DSA_TRACE=ON)"
+                                       : "compiled out (DSA_TRACE=OFF)");
+  std::printf("  engine default:  sparse (DSA_ENGINE=sparse|dense)\n");
+  std::printf("  thread default:  %zu (DSA_THREADS or --threads override)\n",
+              util::ThreadPool::default_thread_count());
+  return 0;
+}
+
+int dispatch(const std::string& command, const util::CliArgs& args) {
+  if (command == "decode") return cmd_decode(args);
+  if (command == "named") return cmd_named(args);
+  if (command == "performance") return cmd_performance(args);
+  if (command == "encounter") return cmd_encounter(args);
+  if (command == "pra") return cmd_pra(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "swarm") return cmd_swarm(args);
+  if (command == "nash") return cmd_nash(args);
+  if (command == "stability") return cmd_stability(args);
+  if (command == "evolve") return cmd_evolve(args);
+  if (command == "version") return cmd_version();
+  usage(command.empty() ? "missing command"
+                        : "unknown command '" + command + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::CliArgs args = util::CliArgs::parse(argc - 1, argv + 1);
-    const std::string& command = args.subcommand();
-    if (command == "decode") return cmd_decode(args);
-    if (command == "named") return cmd_named(args);
-    if (command == "performance") return cmd_performance(args);
-    if (command == "encounter") return cmd_encounter(args);
-    if (command == "pra") return cmd_pra(args);
-    if (command == "swarm") return cmd_swarm(args);
-    if (command == "nash") return cmd_nash(args);
-    if (command == "stability") return cmd_stability(args);
-    if (command == "evolve") return cmd_evolve(args);
-    usage(command.empty() ? "missing command" : "unknown command '" + command +
-                                                    "'");
+    if (args.subcommand().empty() && args.has("version")) return cmd_version();
+
+    // Global observability flags wrap whichever command runs. Tracing and
+    // metrics only read the wall clock and write their own files, so every
+    // command's numeric output is identical with or without them.
+    const std::string trace_path = args.get("trace", "");
+    const std::string metrics_path = args.get("metrics-out", "");
+    if (!trace_path.empty()) obs::TraceSink::global().start(trace_path);
+    if (!metrics_path.empty()) obs::set_enabled(true);
+
+    const int rc = dispatch(args.subcommand(), args);
+
+    if (!trace_path.empty()) {
+      const std::size_t events = obs::TraceSink::global().stop_and_write();
+      std::fprintf(stderr, "trace: %zu events -> %s (load in chrome://tracing "
+                   "or https://ui.perfetto.dev)\n",
+                   events, trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::Registry::global().snapshot().save_jsonl(metrics_path);
+      std::fprintf(stderr, "metrics: wrote %s\n", metrics_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& error) {
     usage(error.what());
   }
