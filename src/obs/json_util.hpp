@@ -1,37 +1,18 @@
-// Minimal JSON string escaping shared by the obs writers (metrics JSONL,
-// Chrome trace events). Handles the characters that must be escaped per RFC
-// 8259; everything else passes through verbatim (metric and span names are
-// ASCII by convention).
+// JSON string escaping for the obs writers (metrics JSONL, Chrome trace
+// events). The implementation lives in util::json so the scenario layer's
+// manifest writer shares the exact same escaping; this header keeps the
+// historical dsa::obs::json_escape name alive for the obs sources.
 #pragma once
 
-#include <cstdio>
 #include <string>
 #include <string_view>
+
+#include "util/json.hpp"
 
 namespace dsa::obs {
 
 inline std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return util::json::escape(text);
 }
 
 }  // namespace dsa::obs

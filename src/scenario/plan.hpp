@@ -1,0 +1,44 @@
+// Plan expansion: a validated ScenarioSpec becomes a deterministic,
+// order-stable job list. Non-sweep kinds take the cartesian product of the
+// spec's parameter axes (table order, last axis fastest); the sweep kind
+// shards its protocol selection into chunks. Every job carries a stable
+// fingerprint derived from the spec fingerprint plus the job's pinned
+// parameters, so a resumed run can prove a manifest entry still describes
+// the same work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace dsa::scenario {
+
+/// One executable unit of a scenario.
+struct Job {
+  std::size_t index = 0;       // position in the plan (and merge order)
+  std::uint64_t fingerprint = 0;
+  std::string label;           // human-readable: the grid axes pinned
+  ParamSet params;             // every axis pinned to one value
+  /// Sweep only: the protocol ids this shard quantifies.
+  std::vector<std::uint32_t> protocols;
+};
+
+/// The expanded scenario: jobs plus the output schema.
+struct Plan {
+  ScenarioSpec spec;
+  std::uint64_t spec_fingerprint = 0;
+  /// Columns of each job's manifest rows.
+  std::vector<std::string> job_columns;
+  /// Columns of the merged output CSV (sweep post-processes job rows into
+  /// the canonical 11-column PRA dataset; other kinds concatenate).
+  std::vector<std::string> merged_columns;
+  std::vector<Job> jobs;
+};
+
+/// Expands a spec. Deterministic: the same spec always yields the same
+/// jobs in the same order with the same fingerprints.
+Plan expand_plan(const ScenarioSpec& spec);
+
+}  // namespace dsa::scenario

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -13,35 +12,27 @@
 #include "obs/trace.hpp"
 #include "swarming/dsa_model.hpp"
 #include "util/env.hpp"
-#include "util/rng.hpp"
+#include "util/fingerprint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dsa::swarming {
 
 namespace {
 
+using util::exact_number;
+
 /// Hash of every option that affects the sweep's numbers. Baked into the
 /// checkpoint filename so a resume never continues from incompatible data.
 std::uint64_t options_fingerprint(const PraDatasetOptions& options) {
-  std::uint64_t h = util::hash64(options.pra.seed ^ 0x50a5c4ec8f21d3b7ULL);
-  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.population));
-  h = util::hash64(h ^
-                   static_cast<std::uint64_t>(options.pra.performance_runs));
-  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.encounter_runs));
-  h = util::hash64(h ^ static_cast<std::uint64_t>(options.pra.opponent_sample));
-  h = util::hash64(h ^ static_cast<std::uint64_t>(std::llround(
-                           options.pra.minority_fraction * 1e6)));
-  h = util::hash64(h ^ static_cast<std::uint64_t>(options.rounds));
-  return h;
-}
-
-/// Checkpoint values feed back into the sweep, so they must round-trip
-/// doubles exactly; the 10-digit display precision of util::format_number
-/// would make a resumed dataset differ from a fresh one in the last ulps.
-std::string exact_number(double value) {
-  char buffer[32];
-  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
-  return std::string(buffer, result.ptr);
+  return util::Fingerprint(options.pra.seed ^ 0x50a5c4ec8f21d3b7ULL)
+      .mix(static_cast<std::uint64_t>(options.pra.population))
+      .mix(static_cast<std::uint64_t>(options.pra.performance_runs))
+      .mix(static_cast<std::uint64_t>(options.pra.encounter_runs))
+      .mix(static_cast<std::uint64_t>(options.pra.opponent_sample))
+      .mix(static_cast<std::uint64_t>(
+          std::llround(options.pra.minority_fraction * 1e6)))
+      .mix(static_cast<std::uint64_t>(options.rounds))
+      .value();
 }
 
 }  // namespace
@@ -74,12 +65,7 @@ PraDatasetOptions PraDatasetOptions::from_environment() {
 }
 
 std::filesystem::path pra_checkpoint_path(const PraDatasetOptions& options) {
-  char suffix[32];
-  std::snprintf(suffix, sizeof(suffix), ".partial-%016llx",
-                static_cast<unsigned long long>(options_fingerprint(options)));
-  std::filesystem::path path = options.path;
-  path += suffix;
-  return path;
+  return util::checkpoint_path(options.path, options_fingerprint(options));
 }
 
 void save_pra_checkpoint(const std::vector<PraRecord>& records,

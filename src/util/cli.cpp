@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dsa::util {
@@ -15,8 +16,12 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
   while (i < argc) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) != 0 || token.size() <= 2) {
-      throw std::invalid_argument("unexpected argument '" + token +
-                                  "' (flags look like --name [value])");
+      // Bare token in flag position: a positional operand (e.g. the spec
+      // path of `run spec.json`). Commands that take none reject it later
+      // via unconsumed_positionals().
+      args.positionals_.push_back(token);
+      ++i;
+      continue;
     }
     const std::string name = token.substr(2);
     if (args.flags_.count(name)) {
@@ -30,6 +35,7 @@ CliArgs CliArgs::parse(int argc, const char* const* argv) {
     args.flags_[name] = value;
     ++i;
   }
+  args.positional_consumed_.assign(args.positionals_.size(), false);
   return args;
 }
 
@@ -85,6 +91,13 @@ double CliArgs::get_double(const std::string& flag, double fallback) const {
   }
 }
 
+std::string CliArgs::positional(std::size_t i,
+                                const std::string& fallback) const {
+  if (i >= positionals_.size()) return fallback;
+  positional_consumed_[i] = true;
+  return positionals_[i];
+}
+
 std::vector<std::string> CliArgs::unconsumed() const {
   std::vector<std::string> unknown;
   for (const auto& [name, value] : flags_) {
@@ -92,6 +105,38 @@ std::vector<std::string> CliArgs::unconsumed() const {
     if (!consumed_.count(name)) unknown.push_back(name);
   }
   return unknown;
+}
+
+std::vector<std::string> CliArgs::unconsumed_positionals() const {
+  std::vector<std::string> stray;
+  for (std::size_t i = 0; i < positionals_.size(); ++i) {
+    if (!positional_consumed_[i]) stray.push_back(positionals_[i]);
+  }
+  return stray;
+}
+
+HelpIndex::HelpIndex(std::vector<CommandHelp> commands)
+    : commands_(std::move(commands)) {}
+
+const CommandHelp* HelpIndex::find(const std::string& name) const {
+  for (const CommandHelp& cmd : commands_) {
+    if (cmd.name == name) return &cmd;
+  }
+  return nullptr;
+}
+
+std::string HelpIndex::command_list() const {
+  std::size_t width = 0;
+  for (const CommandHelp& cmd : commands_) {
+    width = std::max(width, cmd.name.size());
+  }
+  std::string out;
+  for (const CommandHelp& cmd : commands_) {
+    out += "  " + cmd.name;
+    out.append(width - cmd.name.size() + 2, ' ');
+    out += cmd.summary + "\n";
+  }
+  return out;
 }
 
 }  // namespace dsa::util

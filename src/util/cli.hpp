@@ -1,6 +1,8 @@
 // Minimal command-line argument parser for the dsa_cli tool and other
-// executables: one positional subcommand followed by --flag / --flag value
-// options. No external dependencies, strict validation.
+// executables: one positional subcommand, optional positional operands
+// (e.g. a spec file path), and --flag / --flag value options. No external
+// dependencies, strict validation. HelpIndex holds the per-command usage
+// text behind `dsa_cli help <command>`.
 #pragma once
 
 #include <cstdint>
@@ -11,13 +13,15 @@
 
 namespace dsa::util {
 
-/// Parsed command line: `prog subcommand --a 1 --b --c x`.
+/// Parsed command line: `prog subcommand spec.json --a 1 --b --c x`.
 class CliArgs {
  public:
   /// Parses argv (excluding argv[0]). Flags start with "--"; a flag is
   /// boolean when followed by another flag or the end, valued otherwise.
-  /// Throws std::invalid_argument on malformed input (e.g. a bare value
-  /// with no preceding flag).
+  /// Bare tokens after the subcommand become positionals, except a token
+  /// immediately following a flag, which binds as that flag's value.
+  /// Throws std::invalid_argument on malformed input (e.g. a duplicated
+  /// flag).
   static CliArgs parse(int argc, const char* const* argv);
 
   /// The first non-flag token, if any ("pra", "swarm", ...).
@@ -41,15 +45,57 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& flag,
                                   double fallback) const;
 
+  /// Bare tokens after the subcommand, in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Positional `i` (marks it consumed); `fallback` when absent.
+  [[nodiscard]] std::string positional(std::size_t i,
+                                       const std::string& fallback = "") const;
+
   /// Flags the caller never consumed — used to reject typos. Call after all
   /// get()/has() lookups; returns the unknown flag names.
   [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// Positionals the caller never read via positional() — commands that
+  /// take none (or fewer than given) reject these as stray arguments.
+  [[nodiscard]] std::vector<std::string> unconsumed_positionals() const;
 
  private:
   std::string subcommand_;
   // flag name (without "--") -> value ("" for boolean flags)
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
   mutable std::map<std::string, bool> consumed_;
+  mutable std::vector<bool> positional_consumed_;
+};
+
+/// Help text for one subcommand: the one-line summary shown in the command
+/// list plus the full usage block shown by `help <command>`.
+struct CommandHelp {
+  std::string name;
+  std::string summary;
+  std::string usage;
+};
+
+/// Lookup table over CommandHelp entries, preserving registration order.
+class HelpIndex {
+ public:
+  explicit HelpIndex(std::vector<CommandHelp> commands);
+
+  /// nullptr when the command is unknown.
+  [[nodiscard]] const CommandHelp* find(const std::string& name) const;
+
+  /// "  name    summary" lines, names aligned, registration order.
+  [[nodiscard]] std::string command_list() const;
+
+  [[nodiscard]] const std::vector<CommandHelp>& commands() const noexcept {
+    return commands_;
+  }
+
+ private:
+  std::vector<CommandHelp> commands_;
 };
 
 }  // namespace dsa::util

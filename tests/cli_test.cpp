@@ -46,11 +46,35 @@ TEST(CliArgs, BooleanFlagHasNoValue) {
   EXPECT_THROW(args.value("flag"), std::invalid_argument);
 }
 
-TEST(CliArgs, RejectsMalformedInput) {
-  EXPECT_THROW(parse({"cmd", "stray-value"}), std::invalid_argument);
+TEST(CliArgs, RejectsDuplicateFlags) {
   EXPECT_THROW(parse({"cmd", "--dup", "1", "--dup", "2"}),
                std::invalid_argument);
-  EXPECT_THROW(parse({"cmd", "--"}), std::invalid_argument);
+}
+
+TEST(CliArgs, CollectsPositionals) {
+  const CliArgs args = parse({"run", "spec.json", "--threads", "2", "extra"});
+  EXPECT_EQ(args.subcommand(), "run");
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positional(0), "spec.json");
+  EXPECT_EQ(args.get_int("threads", 0), 2);
+  // Only positional 0 was read; "extra" is a stray argument.
+  const auto stray = args.unconsumed_positionals();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray.front(), "extra");
+}
+
+TEST(CliArgs, PositionalFallback) {
+  const CliArgs args = parse({"cmd"});
+  EXPECT_TRUE(args.positionals().empty());
+  EXPECT_EQ(args.positional(0, "default"), "default");
+  EXPECT_TRUE(args.unconsumed_positionals().empty());
+}
+
+TEST(CliArgs, TokenAfterValuedFlagIsItsValueNotPositional) {
+  const CliArgs args = parse({"cmd", "--name", "value", "operand"});
+  EXPECT_EQ(args.get("name", ""), "value");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positional(0), "operand");
 }
 
 TEST(CliArgs, TracksUnconsumedFlags) {
@@ -65,6 +89,21 @@ TEST(CliArgs, ValueAfterBooleanFlagBindsToNextFlag) {
   const CliArgs args = parse({"cmd", "--a", "--b", "value"});
   EXPECT_TRUE(args.has("a"));
   EXPECT_EQ(args.get("b", ""), "value");
+}
+
+TEST(HelpIndex, FindsCommandsAndAlignsList) {
+  const dsa::util::HelpIndex index({
+      {"run", "execute a scenario", "usage: run <spec.json>"},
+      {"pl", "short name", "usage: pl"},
+  });
+  ASSERT_NE(index.find("run"), nullptr);
+  EXPECT_EQ(index.find("run")->usage, "usage: run <spec.json>");
+  EXPECT_EQ(index.find("nope"), nullptr);
+  const std::string list = index.command_list();
+  // Registration order preserved, names padded to a common column.
+  EXPECT_EQ(list,
+            "  run  execute a scenario\n"
+            "  pl   short name\n");
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/fingerprint.hpp"
 #include "util/fs.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -437,6 +438,61 @@ TEST(FixedFormat, ProducesRequestedDigits) {
   EXPECT_EQ(dsa::util::fixed(1.23456, 2), "1.23");
   EXPECT_EQ(dsa::util::fixed(0.5, 0), "0");  // rounds to even
   EXPECT_EQ(dsa::util::fixed(-2.0, 3), "-2.000");
+}
+
+// -------------------------------------------------------- Fingerprint ----
+
+TEST(Fingerprint, MatchesManualHashChain) {
+  // The shared helper must reproduce the original checkpoint scheme
+  // exactly, or every pre-existing .partial file would be orphaned.
+  const std::uint64_t salt = 2011 ^ 0x50a5c4ec8f21d3b7ULL;
+  std::uint64_t expected = hash64(salt);
+  for (const std::uint64_t v : {50ull, 3ull, 1ull, 24ull, 100000ull, 120ull}) {
+    expected = hash64(expected ^ v);
+  }
+  const std::uint64_t got = Fingerprint(salt)
+                                .mix(50)
+                                .mix(3)
+                                .mix(1)
+                                .mix(24)
+                                .mix(100000)
+                                .mix(120)
+                                .value();
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Fingerprint, StringMixIsLengthPrefixed) {
+  // "ab" + "c" must not collide with "a" + "bc".
+  const auto h1 = Fingerprint(1).mix("ab").mix("c").value();
+  const auto h2 = Fingerprint(1).mix("a").mix("bc").value();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Fingerprint, DoubleMixDistinguishesBitPatterns) {
+  EXPECT_NE(Fingerprint(0).mix_double(1.0).value(),
+            Fingerprint(0).mix_double(-1.0).value());
+  EXPECT_EQ(Fingerprint(7).mix_double(0.1).value(),
+            Fingerprint(7).mix_double(0.1).value());
+}
+
+TEST(Fingerprint, HexIsSixteenLowercaseDigits) {
+  const std::string hex = Fingerprint(42).hex();
+  EXPECT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Fingerprint, CheckpointPathAppendsSuffix) {
+  const auto path = checkpoint_path("results/data.csv", 0xabcdef0123456789ULL);
+  EXPECT_EQ(path.string(), "results/data.csv.partial-abcdef0123456789");
+}
+
+TEST(ExactNumber, RoundTripsBitwise) {
+  for (const double v : {0.1, 1.0 / 3.0, 206.7034833, 1e-300, -42.5, 0.0}) {
+    const std::string text = exact_number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
 }
 
 }  // namespace

@@ -8,6 +8,9 @@
 //   dsa_cli swarm --a birds --b bt --fraction 0.25 --runs 10
 //   dsa_cli nash --na 10 --nb 10 --nc 10 --ur 4
 //   dsa_cli evolve --protocols bt,birds,loyal --generations 40
+//   dsa_cli plan examples/scenarios/pra_sweep.json --jobs
+//   dsa_cli run examples/scenarios/pra_sweep.json
+//   dsa_cli help run
 //
 // Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
 // space ids. Every command accepts --seed.
@@ -15,6 +18,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +33,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "scenario/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
@@ -58,52 +63,132 @@ namespace {
 using namespace dsa;
 using namespace dsa::swarming;
 
+const util::HelpIndex& help_index() {
+  static const util::HelpIndex index({
+      {"decode", "describe a design-space protocol id",
+       "usage: dsa_cli decode --id N\n\n"
+       "Describe design-space protocol id N (0 <= N < 3270): stranger\n"
+       "policy, candidate window, ranking function, slots, allocation.\n"},
+      {"named", "list the named protocols and their ids",
+       "usage: dsa_cli named\n\n"
+       "List the named protocols (bt, birds, loyal, sorts, random) with\n"
+       "their design-space ids and full descriptions.\n"},
+      {"performance", "homogeneous population throughput",
+       "usage: dsa_cli performance [--protocol P] [--rounds N] [--runs N]\n"
+       "                           [--population N] [--churn X] [--seed N]\n\n"
+       "Mean population throughput (KBps, +/- 95% CI) of a homogeneous\n"
+       "population all running one protocol.\n"
+       "protocols: bt, birds, loyal, sorts, random, or a numeric id\n"
+       "defaults: --protocol bt --rounds 200 --runs 5 --population 50\n"
+       "          --churn 0 --seed 42\n"},
+      {"encounter", "one tournament encounter (group means, winner)",
+       "usage: dsa_cli encounter [--a P] [--b P] [--fraction X] [--runs N]\n"
+       "                         [--population N] [--rounds N] [--seed N]\n\n"
+       "One mixed-population encounter: fraction*population peers run A,\n"
+       "the rest run B; reports group mean utilities and the winner.\n"
+       "defaults: --a bt --b birds --fraction 0.5 --runs 5\n"
+       "          --population 50 --rounds 200 --seed 42\n"},
+      {"pra", "PRA quantification over a protocol subset",
+       "usage: dsa_cli pra [--protocols P,P,...] [--runs N] [--population N]\n"
+       "                   [--rounds N] [--seed N] [--threads N]\n\n"
+       "Performance / robustness / aggressiveness quantification over a\n"
+       "comma-separated protocol subset (Sec. 4).\n"
+       "--threads N worker threads; default DSA_THREADS, 0 = hardware\n"
+       "concurrency. Results are thread-count independent.\n"
+       "defaults: --protocols bt,birds,loyal,sorts --runs 3\n"
+       "          --population 50 --rounds 200 --seed 2011\n"},
+      {"sweep", "full design-space PRA sweep (resume + cached CSV)",
+       "usage: dsa_cli sweep [--out FILE] [--threads N] [--force] [--quiet]\n\n"
+       "PRA quantification of all 3270 protocols with live progress,\n"
+       "checkpoint resume, and a cached CSV dataset (skipped when the\n"
+       "output already exists; --force recomputes).\n"
+       "Scale via DSA_FULL / DSA_ROUNDS / DSA_POPULATION / DSA_RUNS /\n"
+       "DSA_SEED / DSA_ENGINE; threads via --threads or DSA_THREADS.\n"},
+      {"swarm", "piece-level swarm head-to-head (Sec. 5)",
+       "usage: dsa_cli swarm [--a C] [--b C] [--fraction X] [--runs N]\n"
+       "                     [--seed N] [fault flags]\n\n"
+       "Piece-level BitTorrent swarm: fraction*50 leechers run client A\n"
+       "against the rest on B, capacities from the Piatek distribution.\n"
+       "clients: bt, birds, loyal, sorts, random\n"
+       "defaults: --a birds --b bt --fraction 0.5 --runs 10 --seed 1000\n\n"
+       "fault flags (Sec. 5 robustness):\n"
+       "  --fault X        overall fault intensity in [0,1]; derives a\n"
+       "                   deterministic schedule of message loss, leecher\n"
+       "                   crashes, and a seeder outage (0 = fault-free)\n"
+       "  --loss P         override per-delivery message-loss probability\n"
+       "  --timeout T      override in-flight piece timeout (ticks)\n"
+       "  --crash-frac X   leecher fraction crashed at full intensity\n"
+       "                   (default 0.5)\n"
+       "  --outage-frac X  seeder outage length at full intensity, as a\n"
+       "                   fraction of the horizon (default 0.25)\n"
+       "  --horizon T      ticks the fault schedule spans; keep it near the\n"
+       "                   expected run length (default 600)\n"},
+      {"nash", "Sec. 2.2/Appendix analytical model",
+       "usage: dsa_cli nash [--na N] [--nb N] [--nc N] [--ur N]\n\n"
+       "Analytical expected-game-wins model: homogeneous BT vs Birds plus\n"
+       "both invasion checks (is either a Nash equilibrium?).\n"
+       "defaults: --na 10 --nb 10 --nc 10 --ur 4\n"},
+      {"stability", "ESS stability against sampled mutants",
+       "usage: dsa_cli stability [--protocol P] [--fraction X] [--runs N]\n"
+       "                         [--mutants N] [--population N] [--rounds N]\n"
+       "                         [--seed N]\n\n"
+       "Evolutionary stability of one protocol against sampled mutant\n"
+       "groups; lists any successful invaders.\n"
+       "defaults: --protocol bt --fraction 0.1 --runs 1 --mutants 24\n"
+       "          --population 50 --rounds 200 --seed 2011\n"},
+      {"evolve", "replicator dynamics over a protocol menu",
+       "usage: dsa_cli evolve [--protocols P,P,...] [--generations N]\n"
+       "                      [--runs N] [--mutation X] [--population N]\n"
+       "                      [--rounds N] [--seed N]\n\n"
+       "Replicator dynamics from an even split over a protocol menu;\n"
+       "reports share trajectories and fixation.\n"
+       "defaults: --protocols bt,birds,loyal --generations 40 --runs 2\n"
+       "          --mutation 0 --population 50 --rounds 200 --seed 2011\n"},
+      {"plan", "expand a scenario spec into its job list",
+       "usage: dsa_cli plan <spec.json> [--jobs]\n\n"
+       "Validate a declarative scenario spec (see examples/scenarios/),\n"
+       "expand it into its deterministic job list, and report what `run`\n"
+       "would do: job count, output path, and how many jobs an existing\n"
+       "manifest already covers. --jobs lists every job with its stable\n"
+       "fingerprint, resume state, and label.\n"},
+      {"run", "execute a scenario spec (crash-tolerant, sharded)",
+       "usage: dsa_cli run <spec.json> [--threads N] [--keep-manifest]\n"
+       "                   [--quiet]\n\n"
+       "Execute a scenario spec end to end. The plan is sharded into jobs\n"
+       "that run on a thread pool with per-job retry; every finished job is\n"
+       "appended to a JSONL manifest next to the output, so a killed run\n"
+       "can simply be re-run and only the missing jobs execute. The merged\n"
+       "CSV is written atomically and is byte-identical regardless of\n"
+       "thread count or interruptions.\n\n"
+       "flags:\n"
+       "  --threads N      worker threads (default: DSA_THREADS, else the\n"
+       "                   spec's \"threads\", else hardware concurrency);\n"
+       "                   never affects the output bytes\n"
+       "  --keep-manifest  keep the job manifest after a successful merge\n"
+       "  --quiet          suppress the progress meter and resume notes\n"},
+      {"help", "show per-command usage",
+       "usage: dsa_cli help [command]\n\n"
+       "Show the command list, or the detailed usage of one command.\n"},
+      {"version", "print the build configuration (also --version)",
+       "usage: dsa_cli version\n\n"
+       "Print compiler, build type, and observability configuration.\n"},
+  });
+  return index;
+}
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
-  std::fprintf(stderr, R"(usage: dsa_cli <command> [--flags]
-
-commands:
-  decode --id N                 describe a design-space protocol id
-  named                         list the named protocols and their ids
-  performance --protocol P      homogeneous population throughput
-  encounter --a P --b P         one tournament encounter (group means, winner)
-  pra --protocols P,P,...       PRA quantification over a protocol subset
-                                (--threads N worker threads; default
-                                DSA_THREADS, 0 = hardware concurrency)
-  sweep                         full design-space PRA sweep with live progress,
-                                checkpoint resume, and a cached CSV dataset
-                                (--out FILE --threads N --force --quiet;
-                                scale via DSA_FULL / DSA_ROUNDS / ...)
-  swarm --a C --b C             piece-level swarm head-to-head (Sec. 5)
-  nash --na N --nb N --nc N --ur N
-                                Sec. 2.2/Appendix analytical model
-  stability --protocol P        ESS stability against sampled mutants
-  evolve --protocols P,P,...    replicator dynamics over a protocol menu
-  version                       print the build configuration (also --version)
-
-global observability flags (valid with every command):
-  --trace FILE       record a Chrome trace-event JSON of the run; load it in
-                     chrome://tracing or https://ui.perfetto.dev
-  --metrics-out FILE write a JSONL metrics snapshot (counters, gauges,
-                     histograms) when the command finishes
-
-common flags: --rounds N --runs N --seed N --population N --fraction X
-protocol names: bt, birds, loyal, sorts, random, or a numeric id
-swarm client names: bt, birds, loyal, sorts, random
-
-swarm fault flags (Sec. 5 robustness):
-  --fault X        overall fault intensity in [0,1]; derives a deterministic
-                   schedule of message loss, leecher crashes, and a seeder
-                   outage (0 = fault-free, the default)
-  --loss P         override per-delivery message-loss probability
-  --timeout T      override in-flight piece timeout (ticks; retries with
-                   exponential backoff)
-  --crash-frac X   fraction of leechers crashed at full intensity (def 0.5)
-  --outage-frac X  seeder outage length at full intensity, as a fraction of
-                   the horizon (default 0.25)
-  --horizon T      ticks the fault schedule spans; keep it near the expected
-                   run length so faults actually strike (default 600)
-)");
+  std::fprintf(
+      stderr,
+      "usage: dsa_cli <command> [args] [--flags]\n\ncommands:\n%s\n"
+      "run `dsa_cli help <command>` for per-command flags and defaults.\n\n"
+      "global observability flags (valid with every command):\n"
+      "  --trace FILE       record a Chrome trace-event JSON of the run;\n"
+      "                     load it in chrome://tracing or\n"
+      "                     https://ui.perfetto.dev\n"
+      "  --metrics-out FILE write a JSONL metrics snapshot (counters,\n"
+      "                     gauges, histograms) when the command finishes\n",
+      help_index().command_list().c_str());
   std::exit(2);
 }
 
@@ -153,6 +238,8 @@ SwarmingModel make_model(const util::CliArgs& args) {
 void reject_unknown_flags(const util::CliArgs& args) {
   const auto unknown = args.unconsumed();
   if (!unknown.empty()) usage("unknown flag --" + unknown.front());
+  const auto stray = args.unconsumed_positionals();
+  if (!stray.empty()) usage("unexpected argument '" + stray.front() + "'");
 }
 
 int cmd_decode(const util::CliArgs& args) {
@@ -484,6 +571,90 @@ int cmd_sweep(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_help(const util::CliArgs& args) {
+  const std::string topic = args.positional(0);
+  reject_unknown_flags(args);
+  if (topic.empty()) {
+    std::printf(
+        "usage: dsa_cli <command> [args] [--flags]\n\ncommands:\n%s\n"
+        "run `dsa_cli help <command>` for per-command flags and defaults.\n",
+        help_index().command_list().c_str());
+    return 0;
+  }
+  const util::CommandHelp* help = help_index().find(topic);
+  if (help == nullptr) usage("unknown command '" + topic + "'");
+  std::printf("%s", help->usage.c_str());
+  return 0;
+}
+
+int cmd_plan(const util::CliArgs& args) {
+  const std::string path = args.positional(0);
+  const bool list_jobs = args.has("jobs");
+  reject_unknown_flags(args);
+  if (path.empty()) usage("plan needs a spec file: dsa_cli plan <spec.json>");
+  try {
+    const scenario::Plan plan =
+        scenario::expand_plan(scenario::parse_scenario_file(path));
+    const std::vector<std::size_t> done =
+        scenario::completed_jobs_in_manifest(plan);
+    std::printf("scenario: %s\nkind:     %s\noutput:   %s\nspec fp:  %016llx\n",
+                plan.spec.name.c_str(),
+                scenario::to_string(plan.spec.kind).c_str(),
+                plan.spec.output.string().c_str(),
+                static_cast<unsigned long long>(plan.spec_fingerprint));
+    std::printf("jobs:     %zu (%zu already complete in %s)\n",
+                plan.jobs.size(), done.size(),
+                scenario::manifest_path(plan).string().c_str());
+    if (list_jobs) {
+      const std::set<std::size_t> complete(done.begin(), done.end());
+      util::TablePrinter table({"job", "fingerprint", "state", "label"});
+      for (const scenario::Job& job : plan.jobs) {
+        char fp[17];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(job.fingerprint));
+        table.add_row({std::to_string(job.index), fp,
+                       complete.count(job.index) != 0 ? "done" : "todo",
+                       job.label});
+      }
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
+
+int cmd_run(const util::CliArgs& args) {
+  const std::string path = args.positional(0);
+  scenario::RunOptions options;
+  options.threads = static_cast<std::size_t>(
+      args.get_int("threads", util::env_int("DSA_THREADS", 0)));
+  options.keep_manifest = args.has("keep-manifest");
+  options.verbose = !args.has("quiet");
+  reject_unknown_flags(args);
+  if (path.empty()) usage("run needs a spec file: dsa_cli run <spec.json>");
+  try {
+    const scenario::Plan plan =
+        scenario::expand_plan(scenario::parse_scenario_file(path));
+    const scenario::RunReport report = scenario::run_scenario(plan, options);
+    if (report.reused_output) {
+      std::printf("output %s already exists (delete it to re-run)\n",
+                  report.output.string().c_str());
+    } else {
+      std::printf("scenario '%s': %zu jobs (%zu run, %zu resumed",
+                  plan.spec.name.c_str(), report.total, report.executed,
+                  report.skipped);
+      if (report.retried > 0) std::printf(", %zu retries", report.retried);
+      std::printf(") -> %s\n", report.output.string().c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
 int cmd_version() {
   const char* sanitize = DSA_BUILD_SANITIZE;
   std::printf("dsa_cli - design space analysis for distributed incentives\n");
@@ -512,6 +683,9 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "nash") return cmd_nash(args);
   if (command == "stability") return cmd_stability(args);
   if (command == "evolve") return cmd_evolve(args);
+  if (command == "plan") return cmd_plan(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "help") return cmd_help(args);
   if (command == "version") return cmd_version();
   usage(command.empty() ? "missing command"
                         : "unknown command '" + command + "'");
