@@ -1,17 +1,19 @@
 // Figure 5: complementary CDF of Robustness per stranger policy — only the
 // When-needed policy reaches the very top robustness levels.
+//
+// Ported to the flight recorder: the dataset layer emits one kPra event per
+// protocol and the tables are rendered from that recording by dsa_report —
+// the exact code path `dsa_cli report --table fig5` uses, so the two outputs
+// are byte-identical (enforced by the recorder golden test). With the
+// recorder compiled out (-DDSA_TRACE=OFF) the twin extractor builds the
+// same series straight from the PRA records.
 #include <cstdio>
-#include <iostream>
-#include <vector>
 
 #include "common.hpp"
-#include "stats/descriptive.hpp"
-#include "stats/histogram.hpp"
-#include "swarming/protocol.hpp"
-#include "util/table_printer.hpp"
+#include "obs/recorder.hpp"
+#include "report/report.hpp"
 
 using namespace dsa;
-using namespace dsa::swarming;
 
 int main() {
   ::dsa::bench::MetricsScope metrics_scope("fig5_stranger_ccdf");
@@ -20,48 +22,36 @@ int main() {
       "only protocols using the When-needed stranger policy reach the "
       "highest robustness levels (> 0.99 in the paper's exhaustive run)");
 
+#if DSA_OBS_COMPILED_IN
+  // Arm the recorder before touching the dataset so load-or-compute emits
+  // the kPra events this bench renders from.
+  {
+    obs::RecorderOptions options = obs::RecorderOptions::from_environment();
+    if (options.level == obs::RecordLevel::kOff) {
+      options.level = obs::RecordLevel::kRounds;
+    }
+    obs::Recorder::global().configure(options);
+  }
+  [[maybe_unused]] const auto records = bench::dataset();
+  const std::vector<obs::Event> events = obs::Recorder::global().snapshot();
+  const auto by_policy = report::fig5_robustness_by_policy(
+      std::span<const obs::Event>(events));
+  bench::save_recording_if_requested();
+#else
   const auto records = bench::dataset();
+  const auto by_policy = report::fig5_robustness_by_policy(
+      std::span<const swarming::PraRecord>(records));
+#endif
 
-  std::vector<double> by_policy[3];
-  for (const auto& rec : records) {
-    if (rec.spec.stranger_slots == 0) continue;  // the h = 0 singleton
-    by_policy[static_cast<std::size_t>(rec.spec.stranger_policy)].push_back(
-        rec.robustness);
-  }
-
-  const char* names[3] = {"Periodic", "WhenNeeded", "Defect"};
-  std::printf("\nCCDF series P(R > x):\n");
-  util::TablePrinter table({"x", "Periodic", "WhenNeeded", "Defect"});
-  std::vector<stats::Ccdf> ccdfs;
-  for (int p = 0; p < 3; ++p) ccdfs.emplace_back(by_policy[p]);
-  for (int i = 0; i <= 20; ++i) {
-    const double x = i / 20.0;
-    table.add_row({util::fixed(x, 2), util::fixed(ccdfs[0].at(x), 3),
-                   util::fixed(ccdfs[1].at(x), 3),
-                   util::fixed(ccdfs[2].at(x), 3)});
-  }
-  table.print(std::cout);
-
-  std::printf("\nPer-policy robustness summary:\n");
-  util::TablePrinter summary(
-      {"policy", "n", "mean", "p90", "max"});
-  double max_r[3];
-  for (int p = 0; p < 3; ++p) {
-    max_r[p] = stats::max_value(by_policy[p]);
-    summary.add_row({names[p], std::to_string(by_policy[p].size()),
-                     util::fixed(stats::mean(by_policy[p]), 3),
-                     util::fixed(stats::percentile(by_policy[p], 0.9), 3),
-                     util::fixed(max_r[p], 3)});
-  }
-  summary.print(std::cout);
+  const report::Fig5Tables tables = report::render_fig5(by_policy);
+  std::fputs(tables.text.c_str(), stdout);
 
   // The paper's separation: When-needed dominates at the very top and
   // Defect is clearly the worst.
   const bool when_needed_tops =
-      max_r[1] >= max_r[0] && max_r[1] >= max_r[2];
-  const bool defect_worst =
-      stats::mean(by_policy[2]) < stats::mean(by_policy[0]) &&
-      stats::mean(by_policy[2]) < stats::mean(by_policy[1]);
+      tables.max_r[1] >= tables.max_r[0] && tables.max_r[1] >= tables.max_r[2];
+  const bool defect_worst = tables.mean_r[2] < tables.mean_r[0] &&
+                            tables.mean_r[2] < tables.mean_r[1];
   std::printf("\n");
   bench::verdict(when_needed_tops && defect_worst,
                  "When-needed reaches the top robustness levels; Defect has "

@@ -2,46 +2,90 @@
 // (a) Loyal-When-needed vs BitTorrent, (b) Birds vs BitTorrent, (c) Birds vs
 // Loyal-When-needed — at client fractions {0, .1, .25, .5, .75, .9, 1},
 // reporting average download times with 95% confidence intervals.
+//
+// Ported to the flight recorder: the swarm engine records one kMixedSwarm
+// header per experiment (tagged with the panel title as its context) plus a
+// kLeecher summary per leecher, and dsa_report rebuilds the panel tables
+// from those events — the exact code path `dsa_cli report --table fig9`
+// uses, so the two outputs are byte-identical (enforced by the recorder
+// golden test). With the recorder compiled out (-DDSA_TRACE=OFF) the twin
+// path below computes the same series directly from the swarm results.
+//
+// Tables print the *realized* fraction count_a/50 (e.g. 0.26 for the
+// nominal 0.25 mix), which both paths can reconstruct exactly.
+//
+// Run-key note: seeds are seed_base + run*131 + count_a with bases
+// 1000/2000/3000 and count_a drawn from {0,5,13,25,38,45,50}. No two
+// (panel, run, fraction) combinations can collide for any run count —
+// 131*k - 1000 or - 2000 would have to land in the difference set of the
+// count_a values, and none do — so all three panels share one recording
+// without ambiguity.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/recorder.hpp"
+#include "report/report.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "util/env.hpp"
-#include "util/table_printer.hpp"
 
 using namespace dsa;
 using namespace dsa::swarm;
 
 namespace {
 
-struct SeriesPoint {
-  double fraction;
-  double mean_a = 0.0, ci_a = 0.0;  // group A download time (s)
-  double mean_b = 0.0, ci_b = 0.0;  // group B download time (s)
-  bool has_a = false, has_b = false;
-};
+const std::vector<double>& fractions() {
+  static const std::vector<double> f{0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  return f;
+}
 
-std::vector<SeriesPoint> encounter_series(ClientVariant a, ClientVariant b,
-                                          std::size_t runs,
-                                          std::uint64_t seed_base) {
-  const std::vector<double> fractions{0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
-  std::vector<SeriesPoint> series;
+report::EncounterSeries run_panel(const std::string& title, ClientVariant a,
+                                  ClientVariant b, std::size_t runs,
+                                  std::uint64_t seed_base) {
   SwarmConfig config;  // paper setup: 50 leechers, 5 MB, 128 KBps seeder
-  for (double fraction : fractions) {
+
+#if DSA_OBS_COMPILED_IN
+  // Recorder path: tag the panel, run the experiments, and extract the
+  // series from the recording.
+  obs::Recorder::global().set_context(title);
+  for (double fraction : fractions()) {
     const auto count_a =
         static_cast<std::size_t>(std::lround(fraction * 50.0));
-    SeriesPoint point;
-    point.fraction = fraction;
+    for (std::size_t run = 0; run < runs; ++run) {
+      config.seed = seed_base + run * 131 + count_a;
+      run_mixed_swarm(a, b, count_a, 50, config);
+    }
+  }
+  const std::vector<obs::Event> events = obs::Recorder::global().snapshot();
+  for (auto& series : report::encounter_series_from_events(events)) {
+    if (series.title == title) return series;
+  }
+  throw std::runtime_error("recording produced no series for " + title);
+#else
+  // Recorder compiled out: build the identical series directly.
+  report::EncounterSeries series;
+  series.title = title;
+  series.variant_a = to_string(a);
+  series.variant_b = to_string(b);
+  for (double fraction : fractions()) {
+    const auto count_a =
+        static_cast<std::size_t>(std::lround(fraction * 50.0));
+    report::EncounterPoint point;
+    point.count_a = count_a;
+    point.fraction = static_cast<double>(count_a) / 50.0;
     std::vector<double> times_a, times_b;
     for (std::size_t run = 0; run < runs; ++run) {
       config.seed = seed_base + run * 131 + count_a;
       const auto result = run_mixed_swarm(a, b, count_a, 50, config);
       const double cap = static_cast<double>(config.max_ticks);
-      if (count_a > 0) times_a.push_back(result.group_mean_time(0, count_a, cap));
+      if (count_a > 0) {
+        times_a.push_back(result.group_mean_time(0, count_a, cap));
+      }
       if (count_a < 50) {
         times_b.push_back(result.group_mean_time(count_a, 50, cap));
       }
@@ -56,28 +100,10 @@ std::vector<SeriesPoint> encounter_series(ClientVariant a, ClientVariant b,
       point.mean_b = stats::mean(times_b);
       point.ci_b = stats::ci95_half_width(times_b);
     }
-    series.push_back(point);
+    series.points.push_back(point);
   }
   return series;
-}
-
-void print_series(const std::string& title, ClientVariant a, ClientVariant b,
-                  const std::vector<SeriesPoint>& series) {
-  std::printf("\n%s\n", title.c_str());
-  util::TablePrinter table({"fraction of " + to_string(a),
-                            to_string(a) + " avg time (s)",
-                            to_string(b) + " avg time (s)"});
-  for (const auto& point : series) {
-    table.add_row(
-        {util::fixed(point.fraction, 2),
-         point.has_a ? util::fixed(point.mean_a, 1) + " +/- " +
-                           util::fixed(point.ci_a, 1)
-                     : "-",
-         point.has_b ? util::fixed(point.mean_b, 1) + " +/- " +
-                           util::fixed(point.ci_b, 1)
-                     : "-"});
-  }
-  table.print(std::cout);
+#endif
 }
 
 }  // namespace
@@ -94,30 +120,43 @@ int main() {
 
   const auto runs = static_cast<std::size_t>(
       util::env_int("DSA_SWARM_RUNS", 10));
+  metrics_scope.knob("swarm_runs", runs);
+
+#if DSA_OBS_COMPILED_IN
+  {
+    obs::RecorderOptions options = obs::RecorderOptions::from_environment();
+    if (options.level == obs::RecordLevel::kOff) {
+      options.level = obs::RecordLevel::kRounds;
+    }
+    obs::Recorder::global().configure(options);
+  }
+#endif
 
   const auto fig9a =
-      encounter_series(ClientVariant::kLoyalWhenNeeded,
-                       ClientVariant::kBitTorrent, runs, 1000);
-  print_series("Fig. 9(a): Loyal-When-needed vs BitTorrent",
-               ClientVariant::kLoyalWhenNeeded, ClientVariant::kBitTorrent,
-               fig9a);
+      run_panel("Fig. 9(a): Loyal-When-needed vs BitTorrent",
+                ClientVariant::kLoyalWhenNeeded, ClientVariant::kBitTorrent,
+                runs, 1000);
+  std::cout << report::render_encounter_series(fig9a);
 
-  const auto fig9b = encounter_series(ClientVariant::kBirds,
-                                      ClientVariant::kBitTorrent, runs, 2000);
-  print_series("Fig. 9(b): Birds vs BitTorrent", ClientVariant::kBirds,
-               ClientVariant::kBitTorrent, fig9b);
+  const auto fig9b =
+      run_panel("Fig. 9(b): Birds vs BitTorrent", ClientVariant::kBirds,
+                ClientVariant::kBitTorrent, runs, 2000);
+  std::cout << report::render_encounter_series(fig9b);
 
   const auto fig9c =
-      encounter_series(ClientVariant::kBirds,
-                       ClientVariant::kLoyalWhenNeeded, runs, 3000);
-  print_series("Fig. 9(c): Birds vs Loyal-When-needed", ClientVariant::kBirds,
-               ClientVariant::kLoyalWhenNeeded, fig9c);
+      run_panel("Fig. 9(c): Birds vs Loyal-When-needed", ClientVariant::kBirds,
+                ClientVariant::kLoyalWhenNeeded, runs, 3000);
+  std::cout << report::render_encounter_series(fig9c);
+
+#if DSA_OBS_COMPILED_IN
+  bench::save_recording_if_requested();
+#endif
 
   // Shape checks. Fig 9(a): Loyal-When-needed never substantially worse
   // than BT in any mixed swarm, and its times are stable across mixes.
   bool loyal_never_worse = true;
   double loyal_min = 1e18, loyal_max = 0.0;
-  for (const auto& point : fig9a) {
+  for (const auto& point : fig9a.points) {
     if (point.has_a && point.has_b &&
         point.mean_a > point.mean_b * 1.10) {
       loyal_never_worse = false;

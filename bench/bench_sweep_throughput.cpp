@@ -41,6 +41,7 @@
 #include "common.hpp"
 #include "core/pra.hpp"
 #include "core/subspace.hpp"
+#include "obs/recorder.hpp"
 #include "swarming/dsa_model.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/env.hpp"
@@ -183,6 +184,10 @@ std::vector<ScalePoint> scaling_series(std::size_t rounds) {
 int main() {
   ::dsa::bench::MetricsScope metrics_scope("sweep_throughput");
   bench::runtime_banner();
+  // Honor DSA_RECORD / DSA_RECORD_STRIDE (default off): this bench doubles
+  // as the recorder's overhead gate, so the recording level must be exactly
+  // what the environment asked for.
+  obs::Recorder::global().configure(obs::RecorderOptions::from_environment());
   const auto options = swarming::PraDatasetOptions::from_environment();
   const auto protocols = static_cast<std::uint32_t>(std::min<long long>(
       util::env_int("DSA_BENCH_PROTOCOLS", 64), swarming::kProtocolCount));
@@ -285,5 +290,6 @@ int main() {
   append("}\n");
   util::atomic_write(json_path, json);
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  bench::save_recording_if_requested();
   return identical && scaling_identical ? 0 : 1;
 }

@@ -1,20 +1,29 @@
 // Shared helpers for the figure/table bench binaries: PRA dataset access
-// (cached in results/pra_results.csv), and small formatting utilities.
+// (cached in results/pra_results.csv), standardized perf output
+// (results/BENCH_<name>.json), and small formatting utilities.
 //
 // Every bench prints (a) a short header with the experiment id and the
 // paper's claim, (b) machine-readable series rows, and (c) a summary that
 // states whether the claim's *shape* reproduced at the current scale.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "stats/descriptive.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/env.hpp"
+#include "util/fingerprint.hpp"
+#include "util/fs.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -22,36 +31,129 @@ namespace dsa::bench {
 
 /// Metrics collection defaults to on for benches (DSA_METRICS=0 disables it,
 /// e.g. when measuring the disabled-path overhead of the obs layer itself).
+/// It also gates the BENCH_<name>.json perf summary below.
 inline bool metrics_requested() {
   const std::string value = util::env_string("DSA_METRICS", "1");
   return value != "0" && value != "false";
 }
 
-/// Writes the process-wide metrics snapshot to results/METRICS_<name>.jsonl
-/// (atomically), next to the bench's own results file. No-op when metrics
+/// Output directory for METRICS_*.jsonl and BENCH_*.json files. Defaults to
+/// results/; CI's perf-smoke job points it at a scratch directory.
+inline std::string metrics_dir() {
+  return util::env_string("DSA_METRICS_DIR", "results");
+}
+
+/// Writes the process-wide metrics snapshot to
+/// <DSA_METRICS_DIR>/METRICS_<name>.jsonl (atomically). No-op when metrics
 /// are disabled.
 inline void write_metrics(const std::string& name) {
   if (!obs::enabled()) return;
-  std::string path = "results/METRICS_";
-  path += name;
-  path += ".jsonl";
+  const std::string path = metrics_dir() + "/METRICS_" + name + ".jsonl";
   obs::Registry::global().snapshot().save_jsonl(path);
   std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
 }
 
+/// Renders the shared BENCH_<name>.json schema: bench id, the env scale
+/// knobs plus any bench-specific ones, engine, threads, and the wall-time
+/// distribution over the sample list (median / p10 / p90, milliseconds).
+/// tools/bench_compare diffs two of these files (or directories of them).
+inline std::string bench_json(
+    const std::string& name, const std::vector<double>& wall_ms,
+    const std::vector<std::pair<std::string, std::string>>& knobs) {
+  const auto options = swarming::PraDatasetOptions::from_environment();
+  const std::size_t threads = options.pra.threads == 0
+                                  ? util::ThreadPool::default_thread_count()
+                                  : options.pra.threads;
+  std::ostringstream out;
+  out << "{\"type\":\"bench\",\"schema\":1,\"bench\":\""
+      << util::json::escape(name) << "\",\"engine\":\""
+      << (options.engine == swarming::SimEngine::kDense ? "dense" : "sparse")
+      << "\",\"threads\":" << threads
+      << ",\"repetitions\":" << wall_ms.size() << ",\"wall_time_ms\":{"
+      << "\"median\":" << util::exact_number(stats::percentile(wall_ms, 0.5))
+      << ",\"p10\":" << util::exact_number(stats::percentile(wall_ms, 0.1))
+      << ",\"p90\":" << util::exact_number(stats::percentile(wall_ms, 0.9))
+      << "},\"knobs\":{";
+  bool first = true;
+  for (const auto& [key, json_value] : knobs) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << util::json::escape(key) << "\":" << json_value;
+  }
+  out << "}}\n";
+  return std::move(out).str();
+}
+
 /// RAII guard for bench mains: enables metrics on entry (unless DSA_METRICS=0)
-/// and dumps the snapshot on every exit path, including early returns.
+/// and on every exit path dumps the metrics snapshot plus the
+/// BENCH_<name>.json perf summary. Benches with a real repetition loop feed
+/// per-repetition wall times through add_wall_ms(); otherwise the scope's
+/// own lifetime becomes the single sample.
 struct MetricsScope {
-  explicit MetricsScope(std::string name) : name_(std::move(name)) {
+  explicit MetricsScope(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     if (metrics_requested()) obs::set_enabled(true);
   }
-  ~MetricsScope() { write_metrics(name_); }
+
+  /// One timed repetition, in milliseconds (steady-clock measured).
+  void add_wall_ms(double ms) { wall_ms_.push_back(ms); }
+
+  /// Bench-specific config knob for the BENCH json. The typed overloads
+  /// render the JSON value; keys appear in insertion order.
+  void knob(const std::string& key, std::int64_t value) {
+    knobs_.emplace_back(key, std::to_string(value));
+  }
+  void knob(const std::string& key, std::size_t value) {
+    knobs_.emplace_back(key, std::to_string(value));
+  }
+  void knob(const std::string& key, double value) {
+    knobs_.emplace_back(key, util::exact_number(value));
+  }
+  void knob(const std::string& key, const std::string& value) {
+    knobs_.emplace_back(key, '"' + util::json::escape(value) + '"');
+  }
+
+  ~MetricsScope() {
+    // A bench's perf summary must never turn a successful run into a crash:
+    // swallow I/O errors (e.g. a missing results/ dir on a read-only mount).
+    try {
+      write_metrics(name_);
+      if (metrics_requested()) {
+        if (wall_ms_.empty()) {
+          const auto elapsed =
+              std::chrono::steady_clock::now() - start_;
+          wall_ms_.push_back(
+              std::chrono::duration<double, std::milli>(elapsed).count());
+        }
+        const std::string path =
+            metrics_dir() + "/BENCH_" + name_ + ".json";
+        util::atomic_write(path, bench_json(name_, wall_ms_, knobs_));
+        std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[bench] perf summary failed: %s\n", error.what());
+    }
+  }
   MetricsScope(const MetricsScope&) = delete;
   MetricsScope& operator=(const MetricsScope&) = delete;
 
  private:
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> wall_ms_;
+  std::vector<std::pair<std::string, std::string>> knobs_;
 };
+
+/// Saves the process-wide flight recording to $DSA_RECORD_OUT when the
+/// variable is set and the bench armed the recorder — this is how the
+/// committed example recordings under examples/recordings/ were produced.
+inline void save_recording_if_requested() {
+  const std::string out = util::env_string("DSA_RECORD_OUT", "");
+  if (out.empty()) return;
+  obs::Recorder::global().save(out);
+  std::fprintf(stderr, "[record] %zu events -> %s\n",
+               obs::Recorder::global().event_count(), out.c_str());
+}
 
 /// Loads (or computes and caches) the PRA dataset at env-configured scale.
 inline std::vector<swarming::PraRecord> dataset() {

@@ -255,6 +255,26 @@ double MetricsSnapshot::gauge_value(std::string_view name) const {
   return 0.0;
 }
 
+double MetricsSnapshot::HistogramValue::quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket >= target) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double into = std::clamp((target - cumulative) / in_bucket,
+                                     0.0, 1.0);
+      return lo + (bounds[i] - lo) * into;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 std::string MetricsSnapshot::to_jsonl() const {
   std::ostringstream out;
   for (const auto& c : counters) {
@@ -278,7 +298,10 @@ std::string MetricsSnapshot::to_jsonl() const {
       out << h.buckets[i];
     }
     out << "],\"count\":" << h.count
-        << ",\"sum\":" << util::format_number(h.sum) << "}\n";
+        << ",\"sum\":" << util::format_number(h.sum)
+        << ",\"p50\":" << util::format_number(h.quantile(0.5))
+        << ",\"p90\":" << util::format_number(h.quantile(0.9))
+        << ",\"p99\":" << util::format_number(h.quantile(0.99)) << "}\n";
   }
   return out.str();
 }

@@ -88,6 +88,14 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Quantile estimate (q in [0, 1]) by cumulative bucket walk with
+    /// linear interpolation inside the covering bucket (bucket i spans
+    /// (bounds[i-1], bounds[i]], the first bucket starts at 0). Mass in
+    /// the overflow bucket clamps to bounds.back() — a fixed-bucket
+    /// histogram has no upper edge to interpolate against. Returns 0 for
+    /// an empty histogram.
+    [[nodiscard]] double quantile(double q) const;
   };
 
   std::vector<CounterValue> counters;

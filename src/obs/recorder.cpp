@@ -1,0 +1,225 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "util/env.hpp"
+#include "util/fingerprint.hpp"
+#include "util/fs.hpp"
+
+namespace dsa::obs {
+
+const char* to_string(RecordLevel level) noexcept {
+  switch (level) {
+    case RecordLevel::kOff:
+      return "off";
+    case RecordLevel::kRounds:
+      return "rounds";
+    case RecordLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+RecordLevel parse_record_level(const std::string& text) {
+  if (text == "off") return RecordLevel::kOff;
+  if (text == "rounds") return RecordLevel::kRounds;
+  if (text == "full") return RecordLevel::kFull;
+  throw std::invalid_argument("unknown record level '" + text +
+                              "' (expected off|rounds|full)");
+}
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRun:
+      return "run";
+    case EventKind::kRound:
+      return "round";
+    case EventKind::kSelect:
+      return "select";
+    case EventKind::kPartner:
+      return "partner";
+    case EventKind::kStranger:
+      return "stranger";
+    case EventKind::kPeer:
+      return "peer";
+    case EventKind::kPra:
+      return "pra";
+    case EventKind::kChoke:
+      return "choke";
+    case EventKind::kPiece:
+      return "piece";
+    case EventKind::kLeecher:
+      return "leecher";
+    case EventKind::kMixedSwarm:
+      return "mixed_swarm";
+  }
+  return "run";
+}
+
+EventKind parse_event_kind(const std::string& text) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMixedSwarm); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (text == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown event kind '" + text + "'");
+}
+
+RecorderOptions RecorderOptions::from_environment() {
+  RecorderOptions options;
+  options.level = parse_record_level(
+      util::env_enum("DSA_RECORD", "off", {"off", "rounds", "full"}));
+  const auto stride = util::env_int("DSA_RECORD_STRIDE", 1);
+  if (stride < 1) {
+    throw std::runtime_error("DSA_RECORD_STRIDE must be >= 1, got " +
+                             std::to_string(stride));
+  }
+  options.stride = static_cast<std::uint32_t>(stride);
+  return options;
+}
+
+Recorder& Recorder::global() {
+  static Recorder instance;
+  return instance;
+}
+
+void Recorder::configure(const RecorderOptions& options) {
+  level_.store(static_cast<int>(options.level), std::memory_order_relaxed);
+  stride_.store(options.stride == 0 ? 1 : options.stride,
+                std::memory_order_relaxed);
+}
+
+void Recorder::set_context(std::string context) {
+  std::lock_guard lock(mutex_);
+  context_ = std::move(context);
+}
+
+std::string Recorder::context() const {
+  std::lock_guard lock(mutex_);
+  return context_;
+}
+
+void Recorder::append(std::vector<Event>&& events) {
+  std::lock_guard lock(mutex_);
+  if (events_.empty()) {
+    events_ = std::move(events);
+    return;
+  }
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+}
+
+namespace {
+thread_local bool g_suppressed = false;
+}  // namespace
+
+SuppressScope::SuppressScope() : previous_(g_suppressed) {
+  g_suppressed = true;
+}
+
+SuppressScope::~SuppressScope() { g_suppressed = previous_; }
+
+bool SuppressScope::active() noexcept { return g_suppressed; }
+
+bool event_less(const Event& a, const Event& b) noexcept {
+  return std::tie(a.run, a.kind, a.time, a.actor, a.peer, a.label, a.detail) <
+         std::tie(b.run, b.kind, b.time, b.actor, b.peer, b.label, b.detail);
+}
+
+std::vector<Event> Recorder::snapshot() const {
+  std::vector<Event> copy;
+  {
+    std::lock_guard lock(mutex_);
+    copy = events_;
+  }
+  std::stable_sort(copy.begin(), copy.end(), event_less);
+  return copy;
+}
+
+std::size_t Recorder::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Recorder::reset() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::string to_recording_jsonl(const std::vector<Event>& events,
+                               RecordLevel level, std::uint32_t stride) {
+  std::ostringstream out;
+  out << "{\"type\":\"recording\",\"schema\":1,\"level\":\""
+      << to_string(level) << "\",\"stride\":" << stride
+      << ",\"events\":" << events.size() << "}\n";
+  for (const Event& event : events) {
+    out << "{\"kind\":\"" << to_string(event.kind) << "\",\"run\":\""
+        << event.run << "\",\"time\":" << event.time;
+    if (event.actor != Event::kNoIndex) out << ",\"actor\":" << event.actor;
+    if (event.peer != Event::kNoIndex) out << ",\"peer\":" << event.peer;
+    out << ",\"value\":[" << util::exact_number(event.value[0]) << ','
+        << util::exact_number(event.value[1]) << ','
+        << util::exact_number(event.value[2]) << ','
+        << util::exact_number(event.value[3]) << ']';
+    if (!event.label.empty()) {
+      out << ",\"label\":\"" << json_escape(event.label) << '"';
+    }
+    if (!event.detail.empty()) {
+      out << ",\"detail\":\"" << json_escape(event.detail) << '"';
+    }
+    out << "}\n";
+  }
+  return std::move(out).str();
+}
+
+namespace {
+
+// CSV cell quoting for the two free-text columns: labels are protocol
+// descriptions and context tags, which may contain commas.
+std::string csv_cell(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string to_recording_csv(const std::vector<Event>& events) {
+  std::ostringstream out;
+  out << "kind,run,time,actor,peer,v0,v1,v2,v3,label,detail\n";
+  for (const Event& event : events) {
+    out << to_string(event.kind) << ',' << event.run << ',' << event.time
+        << ',';
+    if (event.actor != Event::kNoIndex) out << event.actor;
+    out << ',';
+    if (event.peer != Event::kNoIndex) out << event.peer;
+    out << ',' << util::exact_number(event.value[0]) << ','
+        << util::exact_number(event.value[1]) << ','
+        << util::exact_number(event.value[2]) << ','
+        << util::exact_number(event.value[3]) << ',' << csv_cell(event.label)
+        << ',' << csv_cell(event.detail) << '\n';
+  }
+  return std::move(out).str();
+}
+
+void Recorder::save(const std::filesystem::path& path) const {
+  const std::vector<Event> events = snapshot();
+  if (path.extension() == ".csv") {
+    util::atomic_write(path, to_recording_csv(events));
+  } else {
+    util::atomic_write(
+        path, to_recording_jsonl(events, level(),
+                                 stride_.load(std::memory_order_relaxed)));
+  }
+}
+
+}  // namespace dsa::obs

@@ -19,6 +19,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
@@ -346,7 +347,15 @@ std::string header_line(const Plan& plan) {
     if (i > 0) line += ',';
     line += '"' + json::escape(plan.job_columns[i]) + '"';
   }
-  line += "]}";
+  line += "]";
+  // Provenance only: the flight-recorder settings active while the jobs
+  // ran. header_matches() ignores it, so a resume with different recording
+  // settings still reuses finished jobs (recording never changes results).
+  const obs::Recorder& recorder = obs::Recorder::global();
+  line += std::string(",\"record\":{\"level\":\"") +
+          obs::to_string(recorder.level()) +
+          "\",\"stride\":" + std::to_string(recorder.stride()) + "}";
+  line += "}";
   return line;
 }
 

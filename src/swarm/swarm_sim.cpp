@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "swarming/bandwidth.hpp"
 #include "util/rng.hpp"
 
@@ -132,9 +133,20 @@ class SwarmEngine {
 
   SwarmResult run() {
     DSA_OBS_PHASE("swarm/run");
+    if (capture_.rounds()) {
+      capture_.emit({.kind = obs::EventKind::kRun,
+                     .run = config_.seed,
+                     .value = {{static_cast<double>(n_),
+                                static_cast<double>(config_.max_ticks),
+                                static_cast<double>(config_.piece_count), 0.0}},
+                     .label = "swarm",
+                     .detail = capture_.context()});
+    }
     SwarmResult result;
     std::size_t tick = 0;
     for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
+      tick_ = static_cast<std::uint32_t>(tick);
+      record_full_tick_ = capture_.full() && capture_.sampled(tick_);
       apply_faults(tick);
       process_arrivals(tick);
       if (tick % config_.rechoke_interval == 0) rechoke();
@@ -160,6 +172,17 @@ class SwarmEngine {
       if (t < 0) result.all_completed = false;
       result.uploaded_kb[l] = uploaded_[l + 1];
       result.downloaded_kb[l] = downloaded_[l + 1];
+    }
+    if (capture_.rounds()) {
+      for (std::size_t l = 0; l + 1 < n_; ++l) {
+        capture_.emit({.kind = obs::EventKind::kLeecher,
+                       .run = config_.seed,
+                       .actor = static_cast<std::uint32_t>(l),
+                       .value = {{capacity_[l + 1], result.completion_time[l],
+                                  result.uploaded_kb[l],
+                                  result.downloaded_kb[l]}},
+                       .label = to_string(variant_[l + 1])});
+      }
     }
     stats_.mean_seeder_recovery_ticks =
         recoveries_ > 0 ? recovery_total_ / static_cast<double>(recoveries_)
@@ -428,6 +451,25 @@ class SwarmEngine {
     unchoked_[i].assign(candidates_.begin(), candidates_.begin() + picked);
 
     update_optimistic(i, variant, slots);
+
+    if (record_full_tick_) {
+      for (std::uint32_t peer : unchoked_[i]) {
+        capture_.emit({.kind = obs::EventKind::kChoke,
+                       .run = config_.seed,
+                       .time = tick_,
+                       .actor = static_cast<std::uint32_t>(i),
+                       .peer = peer,
+                       .value = {{1.0, 0.0, 0.0, 0.0}}});
+      }
+      if (optimistic_[i] >= 0) {
+        capture_.emit({.kind = obs::EventKind::kChoke,
+                       .run = config_.seed,
+                       .time = tick_,
+                       .actor = static_cast<std::uint32_t>(i),
+                       .peer = static_cast<std::uint32_t>(optimistic_[i]),
+                       .value = {{2.0, 0.0, 0.0, 0.0}}});
+      }
+    }
   }
 
   void rank_candidates(std::size_t i, ClientVariant variant,
@@ -618,6 +660,16 @@ class SwarmEngine {
     have_[receiver * pieces_ + piece] = 1;
     ++have_count_[receiver];
     ++availability_[piece];
+    if (record_full_tick_) {
+      capture_.emit({.kind = obs::EventKind::kPiece,
+                     .run = config_.seed,
+                     .time = static_cast<std::uint32_t>(tick),
+                     .actor = static_cast<std::uint32_t>(receiver),
+                     .peer = static_cast<std::uint32_t>(sender),
+                     .value = {{static_cast<double>(piece),
+                                static_cast<double>(have_count_[receiver]), 0.0,
+                                0.0}}});
+    }
     piece_from_[receiver * n_ + sender] = kNoPiece;
     done = 0.0;
     // A completed piece proves the link healthy again.
@@ -693,6 +745,13 @@ class SwarmEngine {
   std::vector<std::uint32_t> scratch_;
   std::vector<std::uint32_t> targets_;
   std::vector<std::uint32_t> departing_;
+
+  // Flight recorder: level/stride latched at construction, events buffered
+  // locally and flushed once when the engine dies. Never touches rng_ or
+  // fault_rng_.
+  obs::RunCapture capture_{obs::Recorder::global()};
+  std::uint32_t tick_ = 0;
+  bool record_full_tick_ = false;
 };
 
 }  // namespace
@@ -729,6 +788,19 @@ SwarmResult run_mixed_swarm(ClientVariant a, ClientVariant b,
       swarming::BandwidthDistribution::piatek().stratified_sample(total);
   util::Rng rng(util::hash64(config.seed ^ 0x5b8f9a3c2d1e4f07ULL));
   rng.shuffle(capacities);
+
+  {
+    obs::RunCapture capture(obs::Recorder::global());
+    if (capture.rounds()) {
+      capture.emit({.kind = obs::EventKind::kMixedSwarm,
+                    .run = config.seed,
+                    .value = {{static_cast<double>(count_a),
+                               static_cast<double>(total),
+                               static_cast<double>(config.max_ticks), 0.0}},
+                    .label = to_string(a) + "|" + to_string(b),
+                    .detail = capture.context()});
+    }
+  }
 
   return run_swarm(leechers, capacities, config);
 }

@@ -2,13 +2,22 @@
 
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace dsa::swarming {
 
+// A PRA sweep drives ~1e5 inner simulations per protocol batch; recording
+// each of them would swamp a recording with per-round events nobody asked
+// for. SuppressScope latches the flight recorder off for sims spawned by the
+// quantification tournament — the sweep's own summary (kPra events) is
+// emitted by the dataset layer after normalisation. Purely observer-side:
+// sim outputs are unaffected.
+
 double SwarmingModel::homogeneous_utility(std::uint32_t protocol,
                                           std::size_t population,
                                           std::uint64_t seed) const {
+  obs::SuppressScope suppress;
   SimulationConfig config = base_;
   config.seed = seed;
   return run_homogeneous_throughput(decode_protocol(protocol), population,
@@ -17,6 +26,7 @@ double SwarmingModel::homogeneous_utility(std::uint32_t protocol,
 
 std::vector<double> SwarmingModel::group_utilities(
     std::span<const core::GroupShare> groups, std::uint64_t seed) const {
+  obs::SuppressScope suppress;
   std::size_t total = 0;
   for (const auto& group : groups) total += group.count;
   if (total == 0) {
@@ -54,6 +64,7 @@ std::vector<double> SwarmingModel::group_utilities(
 std::pair<double, double> SwarmingModel::mixed_utilities(
     std::uint32_t a, std::uint32_t b, std::size_t count_a,
     std::size_t count_b, std::uint64_t seed) const {
+  obs::SuppressScope suppress;
   SimulationConfig config = base_;
   config.seed = seed;
   const EncounterOutcome outcome =

@@ -9,6 +9,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "swarming/dsa_model.hpp"
 #include "util/env.hpp"
@@ -33,6 +34,23 @@ std::uint64_t options_fingerprint(const PraDatasetOptions& options) {
           std::llround(options.pra.minority_fraction * 1e6)))
       .mix(static_cast<std::uint64_t>(options.rounds))
       .value();
+}
+
+/// One kPra summary event per protocol (run = actor = protocol id, so the
+/// canonical event sort equals the dataset's protocol order). Emitted for
+/// both computed and CSV-loaded datasets so a recording carries the exact
+/// values a report consumes, whichever path produced them.
+void record_pra_events(const std::vector<PraRecord>& records) {
+  obs::RunCapture capture(obs::Recorder::global());
+  if (!capture.rounds()) return;
+  for (const PraRecord& rec : records) {
+    capture.emit({.kind = obs::EventKind::kPra,
+                  .run = rec.protocol,
+                  .actor = rec.protocol,
+                  .value = {{rec.performance, rec.robustness,
+                             rec.aggressiveness, rec.raw_performance}},
+                  .label = rec.spec.describe()});
+  }
 }
 
 }  // namespace
@@ -207,6 +225,7 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
   for (PraRecord& rec : records) {
     rec.performance = best > 0.0 ? rec.raw_performance / best : 0.0;
   }
+  record_pra_events(records);
   return records;
 }
 
@@ -248,6 +267,7 @@ std::vector<PraRecord> load_pra_dataset(const std::filesystem::path& path) {
     rec.aggressiveness = table.number_at(r, "aggressiveness");
     records.push_back(rec);
   }
+  record_pra_events(records);
   return records;
 }
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 
 namespace dsa::swarming {
 
@@ -214,6 +215,15 @@ class DenseEngine {
     if (config_.record_round_series) {
       outcome.round_throughput.reserve(config_.rounds);
     }
+    if (capture_.rounds()) {
+      capture_.emit({.kind = obs::EventKind::kRun,
+                     .run = config_.seed,
+                     .value = {{static_cast<double>(n_),
+                                static_cast<double>(config_.rounds),
+                                config_.churn_rate, 0.0}},
+                     .label = "round",
+                     .detail = capture_.context()});
+    }
     for (std::size_t round = 0; round < config_.rounds; ++round) {
       step(round);
       if (config_.record_round_series) {
@@ -222,6 +232,16 @@ class DenseEngine {
         outcome.round_throughput.push_back(round_mean /
                                            static_cast<double>(n_));
       }
+      if (capture_.rounds() && capture_.sampled(round)) {
+        double round_mean = 0.0;
+        for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
+        capture_.emit({.kind = obs::EventKind::kRound,
+                       .run = config_.seed,
+                       .time = static_cast<std::uint32_t>(round),
+                       .value = {{round_mean / static_cast<double>(n_),
+                                  static_cast<double>(peers_replaced_), 0.0,
+                                  0.0}}});
+      }
     }
     outcome.peer_throughput.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) {
@@ -229,6 +249,16 @@ class DenseEngine {
           total_received_[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    if (capture_.rounds()) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        capture_.emit({.kind = obs::EventKind::kPeer,
+                       .run = config_.seed,
+                       .actor = static_cast<std::uint32_t>(i),
+                       .value = {{capacities_[i], outcome.peer_throughput[i],
+                                  0.0, 0.0}},
+                       .label = protocols_[i].describe()});
+      }
+    }
     flush_metrics();
     return outcome;
   }
@@ -244,14 +274,29 @@ class DenseEngine {
       priority = static_cast<std::uint32_t>(rng_());
     }
 
-    for (std::size_t me = 0; me < n_; ++me) act(me);
+    round_ = static_cast<std::uint32_t>(round);
+    // act() is templated on the record flag, and the dispatch sits outside
+    // the peer loop, so the non-recording round compiles to exactly the
+    // pre-recorder hot path — the emit sites must not cost codegen (or
+    // loop shape) when recording is off.
+    if (capture_.full() && capture_.sampled(round)) {
+      for (std::size_t me = 0; me < n_; ++me) act<true>(me);
+    } else {
+      for (std::size_t me = 0; me < n_; ++me) act<false>(me);
+    }
 
     finish_round(round);
   }
 
   /// Peer `me` selects partners/strangers and allocates its capacity,
   /// reading only the *_now_ / *_prev_ state and writing *_next_.
-  void act(std::size_t me) {
+  /// noinline+flatten: keeps each instantiation a standalone function with
+  /// rank_candidates/pick_strangers inlined into it — the same codegen
+  /// shape as the pre-template build. Without this the inliner splits the
+  /// helpers out (they now have two callers), costing ~3% on the dense
+  /// engine's bench_sweep_throughput path.
+  template <bool kRecordFull>
+  [[gnu::noinline]] [[gnu::flatten]] void act(std::size_t me) {
     const ProtocolSpec& spec = protocols_[me];
     const bool two_rounds = spec.window == CandidateWindow::kTf2t;
 
@@ -310,9 +355,42 @@ class DenseEngine {
     const std::size_t partner_lanes =
         config_.lane_model == LaneModel::kFixedLanes ? k : partner_count;
     const std::size_t lanes = partner_lanes + gifted_strangers;
+    // Decision events (full level, strided): pure reads of already-computed
+    // values — no RNG, no sim-state writes.
+    if constexpr (kRecordFull) {
+      capture_.emit({.kind = obs::EventKind::kSelect,
+                     .run = config_.seed,
+                     .time = round_,
+                     .actor = static_cast<std::uint32_t>(me),
+                     .value = {{static_cast<double>(candidates_.size()),
+                                static_cast<double>(partner_count),
+                                static_cast<double>(stranger_count),
+                                static_cast<double>(lanes)}}});
+    }
+    auto record_give = [&](obs::EventKind kind, std::uint32_t to,
+                           double amount) {
+      if constexpr (!kRecordFull) {
+        (void)kind;
+        (void)to;
+        (void)amount;
+        return;
+      } else {
+        obs::Event event{.kind = kind,
+                         .run = config_.seed,
+                         .time = round_,
+                         .actor = static_cast<std::uint32_t>(me),
+                         .peer = to};
+        event.value[0] = amount;
+        if (kind == obs::EventKind::kPartner) {
+          event.value[1] = window_received(me, to, two_rounds);
+        }
+        capture_.emit(std::move(event));
+      }
+    };
     if (defects_on_strangers) {
       for (std::size_t s = 0; s < stranger_count; ++s) {
         give(me, eligible_strangers_[s], 0.0);  // visible defection
+        record_give(obs::EventKind::kStranger, eligible_strangers_[s], 0.0);
       }
     }
     if (lanes == 0) return;
@@ -324,6 +402,7 @@ class DenseEngine {
     const double gift = lane_rate * config_.stranger_efficiency;
     for (std::size_t s = 0; s < gifted_strangers; ++s) {
       give(me, eligible_strangers_[s], gift);
+      record_give(obs::EventKind::kStranger, eligible_strangers_[s], gift);
     }
 
     if (partner_count == 0) return;
@@ -334,6 +413,7 @@ class DenseEngine {
         // One lane per partner; unfilled lanes (partner_count < k) waste.
         for (std::size_t p = 0; p < partner_count; ++p) {
           give(me, candidates_[p], lane_rate);
+          record_give(obs::EventKind::kPartner, candidates_[p], lane_rate);
         }
         break;
       }
@@ -351,12 +431,14 @@ class DenseEngine {
                         contribution_sum
                   : 0.0;
           give(me, candidates_[p], share);
+          record_give(obs::EventKind::kPartner, candidates_[p], share);
         }
         break;
       }
       case AllocationPolicy::kFreeride: {
         for (std::size_t p = 0; p < partner_count; ++p) {
           give(me, candidates_[p], 0.0);
+          record_give(obs::EventKind::kPartner, candidates_[p], 0.0);
         }
         break;
       }
@@ -624,6 +706,11 @@ class DenseEngine {
   // the hot loops never touch an atomic.
   std::size_t candidates_scanned_ = 0;
 
+  // Flight recorder: level/stride latched at construction, events buffered
+  // locally and flushed once when the engine dies. Never touches rng_.
+  obs::RunCapture capture_{obs::Recorder::global()};
+  std::uint32_t round_ = 0;
+
   void flush_metrics() const {
     if (!obs::enabled()) return;
     static const obs::Counter runs =
@@ -682,6 +769,15 @@ class SparseEngine {
     if (config_.record_round_series) {
       outcome.round_throughput.reserve(config_.rounds);
     }
+    if (capture_.rounds()) {
+      capture_.emit({.kind = obs::EventKind::kRun,
+                     .run = config_.seed,
+                     .value = {{static_cast<double>(n_),
+                                static_cast<double>(config_.rounds),
+                                config_.churn_rate, 1.0}},
+                     .label = "round",
+                     .detail = capture_.context()});
+    }
     for (std::size_t round = 0; round < config_.rounds; ++round) {
       step(round);
       if (config_.record_round_series) {
@@ -692,6 +788,18 @@ class SparseEngine {
         outcome.round_throughput.push_back(round_mean /
                                            static_cast<double>(n_));
       }
+      if (capture_.rounds() && capture_.sampled(round)) {
+        double round_mean = 0.0;
+        for (std::size_t i = 0; i < n_; ++i) {
+          round_mean += ws_.round_received[i];
+        }
+        capture_.emit({.kind = obs::EventKind::kRound,
+                       .run = config_.seed,
+                       .time = static_cast<std::uint32_t>(round),
+                       .value = {{round_mean / static_cast<double>(n_),
+                                  static_cast<double>(peers_replaced_), 0.0,
+                                  0.0}}});
+      }
     }
     outcome.peer_throughput.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) {
@@ -699,6 +807,16 @@ class SparseEngine {
           ws_.total_received[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    if (capture_.rounds()) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        capture_.emit({.kind = obs::EventKind::kPeer,
+                       .run = config_.seed,
+                       .actor = static_cast<std::uint32_t>(i),
+                       .value = {{ws_.capacities[i], outcome.peer_throughput[i],
+                                  0.0, 0.0}},
+                       .label = protocols_[i].describe()});
+      }
+    }
     flush_metrics();
     return outcome;
   }
@@ -714,8 +832,17 @@ class SparseEngine {
       priority = static_cast<std::uint32_t>(rng_());
     }
 
+    round_ = static_cast<std::uint32_t>(round);
+    // act() is templated on the record flag so the non-recording
+    // instantiation compiles to exactly the pre-recorder hot path — the
+    // emit sites must not cost codegen when recording is off.
+    const bool record_full = capture_.full() && capture_.sampled(round);
     for (std::size_t me = 0; me < n_; ++me) {
-      act(me);
+      if (record_full) {
+        act<true>(me);
+      } else {
+        act<false>(me);
+      }
       // Restore the all-zero candidate-mark invariant for the next peer
       // (the dense engine instead overwrites the whole array per peer).
       // excluded_scratch holds the full candidate set in build order — the
@@ -788,6 +915,7 @@ class SparseEngine {
     }
   }
 
+  template <bool kRecordFull>
   void act(std::size_t me) {
     const ProtocolSpec& spec = protocols_[me];
     const bool two_rounds = spec.window == CandidateWindow::kTf2t;
@@ -832,9 +960,42 @@ class SparseEngine {
     const std::size_t partner_lanes =
         config_.lane_model == LaneModel::kFixedLanes ? k : partner_count;
     const std::size_t lanes = partner_lanes + gifted_strangers;
+    // Decision events: same sites and payloads as the dense engine, so a
+    // recording is engine-independent. Pure reads; rng_ is never touched.
+    if constexpr (kRecordFull) {
+      capture_.emit({.kind = obs::EventKind::kSelect,
+                     .run = config_.seed,
+                     .time = round_,
+                     .actor = static_cast<std::uint32_t>(me),
+                     .value = {{static_cast<double>(candidates.size()),
+                                static_cast<double>(partner_count),
+                                static_cast<double>(stranger_count),
+                                static_cast<double>(lanes)}}});
+    }
+    auto record_give = [&](obs::EventKind kind, std::uint32_t to,
+                           double amount) {
+      if constexpr (!kRecordFull) {
+        (void)kind;
+        (void)to;
+        (void)amount;
+        return;
+      } else {
+        obs::Event event{.kind = kind,
+                         .run = config_.seed,
+                         .time = round_,
+                         .actor = static_cast<std::uint32_t>(me),
+                         .peer = to};
+        event.value[0] = amount;
+        if (kind == obs::EventKind::kPartner) {
+          event.value[1] = window_received(me, to, two_rounds);
+        }
+        capture_.emit(std::move(event));
+      }
+    };
     if (defects_on_strangers) {
       for (std::size_t s = 0; s < stranger_count; ++s) {
         give(me, ws_.eligible_strangers[s], 0.0);  // visible defection
+        record_give(obs::EventKind::kStranger, ws_.eligible_strangers[s], 0.0);
       }
     }
     if (lanes == 0) return;
@@ -844,6 +1005,7 @@ class SparseEngine {
     const double gift = lane_rate * config_.stranger_efficiency;
     for (std::size_t s = 0; s < gifted_strangers; ++s) {
       give(me, ws_.eligible_strangers[s], gift);
+      record_give(obs::EventKind::kStranger, ws_.eligible_strangers[s], gift);
     }
 
     if (partner_count == 0) return;
@@ -853,6 +1015,7 @@ class SparseEngine {
       case AllocationPolicy::kEqualSplit: {
         for (std::size_t p = 0; p < partner_count; ++p) {
           give(me, candidates[p], lane_rate);
+          record_give(obs::EventKind::kPartner, candidates[p], lane_rate);
         }
         break;
       }
@@ -869,12 +1032,14 @@ class SparseEngine {
                         contribution_sum
                   : 0.0;
           give(me, candidates[p], share);
+          record_give(obs::EventKind::kPartner, candidates[p], share);
         }
         break;
       }
       case AllocationPolicy::kFreeride: {
         for (std::size_t p = 0; p < partner_count; ++p) {
           give(me, candidates[p], 0.0);
+          record_give(obs::EventKind::kPartner, candidates[p], 0.0);
         }
         break;
       }
@@ -905,7 +1070,6 @@ class SparseEngine {
   void rank_candidates(std::size_t me, const ProtocolSpec& spec,
                        std::size_t top) {
     auto& candidates = ws_.candidates;
-    const bool two_rounds = spec.window == CandidateWindow::kTf2t;
     // The ordering (key, then tie priority, then index) is a strict total
     // order, so the selected top-k — and their order — is the same for any
     // correct selection algorithm; hoisting the keys out of the comparator
@@ -1274,6 +1438,11 @@ class SparseEngine {
   // the hot loops never touch an atomic.
   std::size_t candidates_scanned_ = 0;
   std::size_t topk_boundary_scans_ = 0;
+
+  // Flight recorder: level/stride latched at construction, events buffered
+  // locally and flushed once when the engine dies. Never touches rng_.
+  obs::RunCapture capture_{obs::Recorder::global()};
+  std::uint32_t round_ = 0;
 
   void flush_metrics() const {
     if (!obs::enabled()) return;

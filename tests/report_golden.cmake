@@ -1,0 +1,16 @@
+# Byte-for-byte golden test: `dsa_cli report` on a committed example
+# recording must reproduce the committed table exactly (the same bytes the
+# originating bench printed). Invoked via
+#   cmake -DDSA_CLI=... -DRECORDING=... -DTABLE=... -DEXPECTED=... -P report_golden.cmake
+execute_process(
+  COMMAND "${DSA_CLI}" report "${RECORDING}" --table "${TABLE}"
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "dsa_cli report failed (exit ${status})")
+endif()
+file(READ "${EXPECTED}" expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+      "report output differs from ${EXPECTED}\n--- actual ---\n${actual}")
+endif()

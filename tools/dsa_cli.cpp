@@ -10,6 +10,8 @@
 //   dsa_cli evolve --protocols bt,birds,loyal --generations 40
 //   dsa_cli plan examples/scenarios/pra_sweep.json --jobs
 //   dsa_cli run examples/scenarios/pra_sweep.json
+//   dsa_cli record --out r.jsonl --context demo swarm --runs 3
+//   dsa_cli report r.jsonl --table fig9
 //   dsa_cli help run
 //
 // Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
@@ -32,7 +34,9 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "report/report.hpp"
 #include "scenario/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
@@ -166,6 +170,38 @@ const util::HelpIndex& help_index() {
        "                   never affects the output bytes\n"
        "  --keep-manifest  keep the job manifest after a successful merge\n"
        "  --quiet          suppress the progress meter and resume notes\n"},
+      {"record", "run a command with the flight recorder on",
+       "usage: dsa_cli record [--out FILE] [--level rounds|full]\n"
+       "                      [--stride N] [--context TEXT] <command> ...\n\n"
+       "Run any dsa_cli command with the simulation flight recorder enabled\n"
+       "and save the recording when it finishes. The recording is a JSONL\n"
+       "event stream (or CSV when FILE ends in .csv) that `dsa_cli report`\n"
+       "aggregates into paper-figure tables. Recording never changes the\n"
+       "wrapped command's numeric output.\n\n"
+       "flags (defaults: --out results/recording.jsonl, --level rounds, or\n"
+       "DSA_RECORD / DSA_RECORD_STRIDE when set):\n"
+       "  --level rounds   run headers, per-round aggregates, end-of-run\n"
+       "                   summaries\n"
+       "  --level full     adds per-decision detail: partner selections,\n"
+       "                   stranger gifts, choke decisions, piece\n"
+       "                   completions\n"
+       "  --stride N       record every N-th round/tick of per-round kinds\n"
+       "  --context TEXT   provenance tag stamped into run events; reports\n"
+       "                   group series by it\n\n"
+       "example: dsa_cli record --out r.jsonl --context demo swarm --runs 3\n"},
+      {"report", "render figure tables from a recording",
+       "usage: dsa_cli report <recording.jsonl> [--table T]\n\n"
+       "Aggregate a flight recording into paper-figure-ready tables:\n"
+       "  summary  event/run counts per kind\n"
+       "  fig5     stranger-policy robustness CCDF (Fig. 5, from pra\n"
+       "           events)\n"
+       "  fig9     competitive swarm encounter series (Figs. 9-10)\n"
+       "  pra      mean P/R/A by ranking and by allocation (Figs. 6-7)\n"
+       "  wins     win matrix between two-group runs (Figs. 1/9 flavor)\n"
+       "  swarm    download-time summary per client variant (Fig. 10)\n"
+       "  all      every table that has matching events (default)\n\n"
+       "The fig5/fig9 tables are byte-identical to what the corresponding\n"
+       "benches print when both consume the same events.\n"},
       {"help", "show per-command usage",
        "usage: dsa_cli help [command]\n\n"
        "Show the command list, or the detailed usage of one command.\n"},
@@ -655,6 +691,119 @@ int cmd_run(const util::CliArgs& args) {
   }
 }
 
+int dispatch(const std::string& command, const util::CliArgs& args);
+
+// `record` owns the flags before the inner command, then re-parses the rest
+// as a normal invocation: main() hands it raw argv (starting at the token
+// after "record") because util::CliArgs would otherwise swallow the inner
+// command's flags.
+int cmd_record(int argc, char** argv) {
+  std::string out = "results/recording.jsonl";
+  std::string context;
+  obs::RecorderOptions options = obs::RecorderOptions::from_environment();
+  if (options.level == obs::RecordLevel::kOff) {
+    options.level = obs::RecordLevel::kRounds;
+  }
+  int i = 0;
+  auto value_of = [&](const char* flag) -> std::string {
+    if (i + 1 >= argc) usage(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      out = value_of("--out");
+    } else if (arg == "--level") {
+      options.level = obs::parse_record_level(value_of("--level"));
+    } else if (arg == "--stride") {
+      const int stride = std::stoi(value_of("--stride"));
+      if (stride < 1) usage("--stride must be >= 1");
+      options.stride = static_cast<std::uint32_t>(stride);
+    } else if (arg == "--context") {
+      context = value_of("--context");
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) {
+    usage("record needs an inner command, e.g. "
+          "dsa_cli record --out r.jsonl swarm --runs 3");
+  }
+#if !DSA_OBS_COMPILED_IN
+  std::fprintf(stderr,
+               "warning: recorder compiled out (-DDSA_TRACE=OFF); the "
+               "recording will be empty\n");
+#endif
+  obs::Recorder::global().configure(options);
+  if (!context.empty()) obs::Recorder::global().set_context(context);
+
+  const util::CliArgs inner = util::CliArgs::parse(argc - i, argv + i);
+  const int rc = dispatch(inner.subcommand(), inner);
+
+  obs::Recorder::global().save(out);
+  std::fprintf(stderr, "recording: %zu events -> %s\n",
+               obs::Recorder::global().event_count(), out.c_str());
+  return rc;
+}
+
+int cmd_report(const util::CliArgs& args) {
+  const std::string path = args.positional(0);
+  const std::string table = args.get("table", "all");
+  reject_unknown_flags(args);
+  if (path.empty()) {
+    usage("report needs a recording: dsa_cli report <recording.jsonl>");
+  }
+  const std::set<std::string> known = {"all",  "summary", "fig5",
+                                      "fig9", "pra",     "wins",
+                                      "swarm"};
+  if (known.count(table) == 0) {
+    usage("unknown --table '" + table +
+          "' (all|summary|fig5|fig9|pra|wins|swarm)");
+  }
+  try {
+    const report::Recording recording = report::load_recording(path);
+    const auto has_kind = [&](obs::EventKind kind) {
+      for (const obs::Event& event : recording.events) {
+        if (event.kind == kind) return true;
+      }
+      return false;
+    };
+    const bool all = table == "all";
+    // `all` renders only the tables with matching events; naming a table
+    // renders it unconditionally (empty tables show their headers).
+    if (all || table == "summary") {
+      std::cout << report::render_summary(recording);
+    }
+    if (table == "fig5" || (all && has_kind(obs::EventKind::kPra))) {
+      std::cout
+          << report::render_fig5(
+                 report::fig5_robustness_by_policy(
+                     std::span<const obs::Event>(recording.events)))
+                 .text;
+    }
+    if (table == "pra" || (all && has_kind(obs::EventKind::kPra))) {
+      std::cout << report::render_pra_breakdowns(recording.events);
+    }
+    if (table == "fig9" || (all && has_kind(obs::EventKind::kMixedSwarm))) {
+      for (const auto& series :
+           report::encounter_series_from_events(recording.events)) {
+        std::cout << report::render_encounter_series(series);
+      }
+    }
+    if (table == "wins" || (all && (has_kind(obs::EventKind::kPeer) ||
+                                    has_kind(obs::EventKind::kLeecher)))) {
+      std::cout << report::render_win_matrix(recording.events);
+    }
+    if (table == "swarm" || (all && has_kind(obs::EventKind::kLeecher))) {
+      std::cout << report::render_swarm_times(recording.events);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
+
 int cmd_version() {
   const char* sanitize = DSA_BUILD_SANITIZE;
   std::printf("dsa_cli - design space analysis for distributed incentives\n");
@@ -685,6 +834,7 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "evolve") return cmd_evolve(args);
   if (command == "plan") return cmd_plan(args);
   if (command == "run") return cmd_run(args);
+  if (command == "report") return cmd_report(args);
   if (command == "help") return cmd_help(args);
   if (command == "version") return cmd_version();
   usage(command.empty() ? "missing command"
@@ -695,6 +845,14 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
 
 int main(int argc, char** argv) {
   try {
+    // DSA_RECORD / DSA_RECORD_STRIDE arm the flight recorder for any
+    // command; `dsa_cli record` layers its flags on top and saves the file.
+    obs::Recorder::global().configure(
+        obs::RecorderOptions::from_environment());
+    if (argc >= 2 && std::string(argv[1]) == "record") {
+      return cmd_record(argc - 2, argv + 2);
+    }
+
     const util::CliArgs args = util::CliArgs::parse(argc - 1, argv + 1);
     if (args.subcommand().empty() && args.has("version")) return cmd_version();
 
