@@ -1,0 +1,116 @@
+#include "fault/fault_json.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fingerprint.hpp"
+#include "util/fs.hpp"
+
+namespace dsa::fault {
+
+namespace {
+
+// as_int() already rejects non-integral numbers; this adds the sign check so
+// size_t fields get a path-named error instead of a silent wrap.
+std::size_t as_size(const util::json::Cursor& cursor) {
+  const std::int64_t raw = cursor.as_int();
+  if (raw < 0) cursor.fail("must be >= 0");
+  return static_cast<std::size_t>(raw);
+}
+
+}  // namespace
+
+std::string fault_plan_json_fields(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "\"message_loss\":" << util::exact_number(plan.message_loss)
+      << ",\"piece_timeout_ticks\":" << plan.piece_timeout_ticks
+      << ",\"retry_backoff_ticks\":" << plan.retry_backoff_ticks
+      << ",\"max_backoff_ticks\":" << plan.max_backoff_ticks
+      << ",\"seeder_outages\":[";
+  for (std::size_t i = 0; i < plan.seeder_outages.size(); ++i) {
+    const SeederOutage& outage = plan.seeder_outages[i];
+    if (i > 0) out << ',';
+    out << "{\"begin_tick\":" << outage.begin_tick
+        << ",\"end_tick\":" << outage.end_tick << '}';
+  }
+  out << "],\"crashes\":[";
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    const CrashEvent& crash = plan.crashes[i];
+    if (i > 0) out << ',';
+    out << "{\"leecher\":" << crash.leecher << ",\"tick\":" << crash.tick
+        << ",\"downtime\":" << crash.downtime << '}';
+  }
+  out << ']';
+  return std::move(out).str();
+}
+
+std::string to_json(const FaultPlan& plan) {
+  return "{\"type\":\"fault_plan\",\"schema\":1," +
+         fault_plan_json_fields(plan) + "}\n";
+}
+
+FaultPlan fault_plan_from_json(const util::json::Cursor& root) {
+  FaultPlan plan;
+  if (const auto loss = root.try_key("message_loss")) {
+    plan.message_loss = loss->as_double();
+  }
+  if (const auto timeout = root.try_key("piece_timeout_ticks")) {
+    plan.piece_timeout_ticks = as_size(*timeout);
+  }
+  if (const auto backoff = root.try_key("retry_backoff_ticks")) {
+    plan.retry_backoff_ticks = as_size(*backoff);
+  }
+  if (const auto cap = root.try_key("max_backoff_ticks")) {
+    plan.max_backoff_ticks = as_size(*cap);
+  }
+  if (const auto outages = root.try_key("seeder_outages")) {
+    for (std::size_t i = 0; i < outages->size(); ++i) {
+      const util::json::Cursor entry = outages->at(i);
+      entry.allow_only({"begin_tick", "end_tick"});
+      SeederOutage outage;
+      outage.begin_tick = as_size(entry.key("begin_tick"));
+      outage.end_tick = as_size(entry.key("end_tick"));
+      plan.seeder_outages.push_back(outage);
+    }
+  }
+  if (const auto crashes = root.try_key("crashes")) {
+    for (std::size_t i = 0; i < crashes->size(); ++i) {
+      const util::json::Cursor entry = crashes->at(i);
+      entry.allow_only({"leecher", "tick", "downtime"});
+      CrashEvent crash;
+      crash.leecher = as_size(entry.key("leecher"));
+      crash.tick = as_size(entry.key("tick"));
+      crash.downtime = as_size(entry.key("downtime"));
+      plan.crashes.push_back(crash);
+    }
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::filesystem::path& path) {
+  const util::json::Value document = util::json::parse_file(path);
+  const util::json::Cursor root(document, path.string());
+  root.allow_only({"type", "schema", "message_loss", "piece_timeout_ticks",
+                   "retry_backoff_ticks", "max_backoff_ticks",
+                   "seeder_outages", "crashes"});
+  if (root.key("type").as_string() != "fault_plan") {
+    root.key("type").fail("expected \"fault_plan\"");
+  }
+  if (root.key("schema").as_int() != 1) {
+    root.key("schema").fail("unsupported fault_plan schema (expected 1)");
+  }
+  FaultPlan plan = fault_plan_from_json(root);
+  // Validate with the loosest bounds a file can be checked against; the
+  // engine re-validates with the run's real leecher count and horizon.
+  plan.validate(std::numeric_limits<std::size_t>::max());
+  return plan;
+}
+
+void save_fault_plan(const std::filesystem::path& path,
+                     const FaultPlan& plan) {
+  util::atomic_write(path, to_json(plan));
+}
+
+}  // namespace dsa::fault

@@ -1,0 +1,51 @@
+// JSON (de)serialization for FaultPlan — the interchange format between the
+// worst-case explorer (src/explore), `dsa_cli swarm --fault-file`, and
+// hand-written fault schedules under examples/faults/.
+//
+// The on-disk document is a strict schema-v1 object:
+//
+//   {"type":"fault_plan","schema":1,
+//    "message_loss":0.0,"piece_timeout_ticks":0,
+//    "retry_backoff_ticks":4,"max_backoff_ticks":64,
+//    "seeder_outages":[{"begin_tick":120,"end_tick":200}],
+//    "crashes":[{"leecher":3,"tick":81,"downtime":60}]}
+//
+// Loading validates the plan (FaultPlan::validate with an unbounded horizon;
+// the engine re-validates against the run's leecher count and max_ticks), so
+// a malformed file fails with a field-named error instead of silently
+// simulating garbage. Serialization uses util::exact_number for doubles,
+// making a load -> save round trip byte-identical.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "util/json.hpp"
+
+namespace dsa::fault {
+
+/// Renders the plan's fields as the body of a JSON object (no surrounding
+/// braces, no leading/trailing comma) — shared between the bare fault-plan
+/// document and the explorer's counterexample format, which embeds the same
+/// fields alongside its swarm block.
+[[nodiscard]] std::string fault_plan_json_fields(const FaultPlan& plan);
+
+/// The full schema-v1 fault-plan document, newline-terminated.
+[[nodiscard]] std::string to_json(const FaultPlan& plan);
+
+/// Reads the fault-plan fields out of an already-parsed document. Missing
+/// numeric fields keep their defaults; present fields are type- and
+/// range-checked with Cursor path errors. Does NOT call allow_only — the
+/// caller owns the document's key whitelist.
+[[nodiscard]] FaultPlan fault_plan_from_json(const util::json::Cursor& root);
+
+/// Parses and validates a bare fault-plan file (strict keys). Throws
+/// util::json::ParseError / SchemaError on malformed documents and
+/// std::invalid_argument (field-named) on semantically bad plans.
+[[nodiscard]] FaultPlan load_fault_plan(const std::filesystem::path& path);
+
+/// Writes `to_json(plan)` via util::atomic_write.
+void save_fault_plan(const std::filesystem::path& path, const FaultPlan& plan);
+
+}  // namespace dsa::fault

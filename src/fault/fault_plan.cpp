@@ -21,7 +21,8 @@ bool FaultPlan::seeder_down(std::size_t tick) const noexcept {
   return false;
 }
 
-void FaultPlan::validate(std::size_t leecher_count) const {
+void FaultPlan::validate(std::size_t leecher_count,
+                         std::size_t max_ticks) const {
   if (!(message_loss >= 0.0 && message_loss <= 1.0)) {
     throw std::invalid_argument(
         "FaultPlan.message_loss: must be in [0, 1], got " +
@@ -46,6 +47,24 @@ void FaultPlan::validate(std::size_t leecher_count) const {
           std::to_string(outage.end_tick) + ") is empty or inverted");
     }
   }
+  // Overlapping windows would make seeder_down() ambiguous about which
+  // outage is "active" (and double-count down ticks elsewhere), so they are
+  // rejected rather than silently merged.
+  std::vector<SeederOutage> sorted = seeder_outages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SeederOutage& a, const SeederOutage& b) {
+              return a.begin_tick < b.begin_tick;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].begin_tick < sorted[i - 1].end_tick) {
+      throw std::invalid_argument(
+          "FaultPlan.seeder_outages: windows [" +
+          std::to_string(sorted[i - 1].begin_tick) + ", " +
+          std::to_string(sorted[i - 1].end_tick) + ") and [" +
+          std::to_string(sorted[i].begin_tick) + ", " +
+          std::to_string(sorted[i].end_tick) + ") overlap");
+    }
+  }
   for (const CrashEvent& crash : crashes) {
     if (crash.leecher >= leecher_count) {
       throw std::invalid_argument(
@@ -56,6 +75,12 @@ void FaultPlan::validate(std::size_t leecher_count) const {
       throw std::invalid_argument(
           "FaultPlan.crashes: downtime must be > 0 (leecher " +
           std::to_string(crash.leecher) + ")");
+    }
+    if (max_ticks > 0 && crash.tick >= max_ticks) {
+      throw std::invalid_argument(
+          "FaultPlan.crashes: tick " + std::to_string(crash.tick) +
+          " at or past the run horizon (max_ticks = " +
+          std::to_string(max_ticks) + ")");
     }
   }
 }
@@ -84,7 +109,10 @@ FaultPlan make_fault_plan(const FaultSpec& spec, std::size_t leecher_count,
   if (spec.intensity == 0.0) return plan;  // bitwise-identical baseline
 
   util::Rng rng(util::hash64(spec.seed ^ 0x0fa17a6b5c3d2e19ULL));
-  plan.message_loss = spec.intensity * spec.max_message_loss;
+  // At intensity exactly 1.0 the product can land a rounding hair above
+  // max_message_loss; clamp so the plan always validates.
+  plan.message_loss =
+      std::clamp(spec.intensity * spec.max_message_loss, 0.0, 1.0);
   plan.piece_timeout_ticks = spec.piece_timeout_ticks;
 
   // Crashes: a scaled fraction of distinct leechers, each crashing once in
@@ -107,9 +135,12 @@ FaultPlan make_fault_plan(const FaultSpec& spec, std::size_t leecher_count,
       CrashEvent crash;
       crash.leecher = victims[i];
       crash.tick = 1 + static_cast<std::size_t>(rng.below(crash_window));
-      crash.downtime = static_cast<std::size_t>(
-          rng.between(static_cast<std::int64_t>(min_down),
-                      static_cast<std::int64_t>(max_down)));
+      // min_down >= 1 above keeps the draw positive: a downtime of 0 would
+      // resurrect the leecher in the same tick it died.
+      crash.downtime = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 rng.between(static_cast<std::int64_t>(min_down),
+                             static_cast<std::int64_t>(max_down))));
       plan.crashes.push_back(crash);
     }
   }
@@ -127,6 +158,7 @@ FaultPlan make_fault_plan(const FaultSpec& spec, std::size_t leecher_count,
     plan.seeder_outages.push_back(outage);
   }
 
+  plan.validate(leecher_count);
   return plan;
 }
 

@@ -60,9 +60,13 @@ struct FaultPlan {
   [[nodiscard]] bool seeder_down(std::size_t tick) const noexcept;
 
   /// Rejects malformed plans with std::invalid_argument naming the offending
-  /// field (loss probability outside [0, 1], inverted outage windows, crash
-  /// targets outside [0, leecher_count), zero backoff with timeouts on).
-  void validate(std::size_t leecher_count) const;
+  /// field: loss probability outside [0, 1], empty/inverted/overlapping
+  /// outage windows, crash targets outside [0, leecher_count), zero
+  /// downtime, zero backoff (or a cap below the base) with timeouts on, and
+  /// — when `max_ticks` > 0 — crash ticks at or past the horizon. Every
+  /// construction path (field-by-field, FaultSpec expansion, JSON) funnels
+  /// through this before a plan reaches the engine.
+  void validate(std::size_t leecher_count, std::size_t max_ticks = 0) const;
 };
 
 /// Intensity-scaled plan generator. Every knob below is the value reached at

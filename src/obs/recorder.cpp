@@ -57,12 +57,14 @@ const char* to_string(EventKind kind) noexcept {
       return "leecher";
     case EventKind::kMixedSwarm:
       return "mixed_swarm";
+    case EventKind::kFault:
+      return "fault";
   }
   return "run";
 }
 
 EventKind parse_event_kind(const std::string& text) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kMixedSwarm); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kFault); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (text == to_string(kind)) return kind;
   }

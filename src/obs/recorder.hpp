@@ -97,6 +97,13 @@ enum class EventKind : std::uint8_t {
   /// names, detail = context tag, value = {count_a, total leechers,
   /// max_ticks}.
   kMixedSwarm,
+  /// A fault-plan event striking the swarm (rounds level). time = tick,
+  /// actor = engine peer index (0 = seeder, leecher l at l + 1),
+  /// label = "crash" | "outage_begin" | "outage_end".
+  /// crash: value = {downtime ticks, pieces wiped}. outage_begin:
+  /// value = {window end tick}. outage_end: value = {ticks the seeder was
+  /// dark}.
+  kFault,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

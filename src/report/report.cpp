@@ -463,4 +463,112 @@ std::string render_swarm_times(std::span<const obs::Event> events) {
   return std::move(out).str();
 }
 
+namespace {
+
+std::string fault_peer_name(std::uint32_t actor) {
+  // kFault actors use engine indexing: 0 = seeder, leecher l at l + 1.
+  return actor == 0 ? "seeder" : "leecher " + std::to_string(actor - 1);
+}
+
+}  // namespace
+
+std::string render_fault_timeline(std::span<const obs::Event> events) {
+  std::ostringstream out;
+  out << "\nFault timeline:\n";
+  util::TablePrinter table({"tick", "peer", "event", "detail"});
+  std::size_t count = 0;
+  for (const obs::Event& event : events) {
+    if (event.kind != obs::EventKind::kFault) continue;
+    ++count;
+    std::string detail;
+    if (event.label == "crash") {
+      detail = "down " + util::fixed(event.value[0], 0) + " ticks, wiped " +
+               util::fixed(event.value[1], 0) + " pieces";
+    } else if (event.label == "outage_begin") {
+      detail = "until tick " + util::fixed(event.value[0], 0);
+    } else if (event.label == "outage_end") {
+      detail = "dark for " + util::fixed(event.value[0], 0) + " ticks";
+    }
+    table.add_row({std::to_string(event.time), fault_peer_name(event.actor),
+                   event.label, detail});
+  }
+  if (count == 0) {
+    out << "  (no fault events recorded)\n";
+    return std::move(out).str();
+  }
+  table.print(out);
+  return std::move(out).str();
+}
+
+std::string render_fault_impact(std::span<const obs::Event> worst,
+                                std::span<const obs::Event> baseline) {
+  // kLeecher actors are 0-based leecher indices (seeder excluded), so the
+  // two runs join directly on the actor.
+  struct LeecherRow {
+    std::string client;
+    double capacity = 0.0;
+    double worst_s = -1.0;
+    double baseline_s = -1.0;
+    bool in_worst = false, in_baseline = false;
+  };
+  std::map<std::uint32_t, LeecherRow> rows;
+  for (const obs::Event& event : worst) {
+    if (event.kind != obs::EventKind::kLeecher) continue;
+    LeecherRow& row = rows[event.actor];
+    row.client = event.label;
+    row.capacity = event.value[0];
+    row.worst_s = event.value[1];
+    row.in_worst = true;
+  }
+  for (const obs::Event& event : baseline) {
+    if (event.kind != obs::EventKind::kLeecher) continue;
+    LeecherRow& row = rows[event.actor];
+    row.client = event.label;
+    row.capacity = event.value[0];
+    row.baseline_s = event.value[1];
+    row.in_baseline = true;
+  }
+
+  std::ostringstream out;
+  out << "\nPer-leecher impact (worst schedule vs fault-free baseline):\n";
+  if (rows.empty()) {
+    out << "  (no leecher summaries recorded)\n";
+    return std::move(out).str();
+  }
+  util::TablePrinter table({"leecher", "client", "capacity", "baseline (s)",
+                            "worst (s)", "delta (s)"});
+  std::vector<double> deltas;
+  for (const auto& [actor, row] : rows) {
+    const bool base_done = row.in_baseline && row.baseline_s >= 0.0;
+    const bool worst_done = row.in_worst && row.worst_s >= 0.0;
+    std::string delta = "-";
+    if (base_done && worst_done) {
+      deltas.push_back(row.worst_s - row.baseline_s);
+      delta = util::fixed(row.worst_s - row.baseline_s, 1);
+    }
+    table.add_row({std::to_string(actor), row.client,
+                   util::fixed(row.capacity, 0),
+                   base_done ? util::fixed(row.baseline_s, 1) : "-",
+                   worst_done ? util::fixed(row.worst_s, 1) : "-", delta});
+  }
+  table.print(out);
+  if (!deltas.empty()) {
+    out << "mean delta over " << deltas.size()
+        << " leechers finishing in both runs: "
+        << util::fixed(stats::mean(deltas), 1) << " s\n";
+  }
+  const std::size_t unfinished = [&] {
+    std::size_t n = 0;
+    for (const auto& [actor, row] : rows) {
+      if (row.in_worst && row.worst_s < 0.0) ++n;
+    }
+    return n;
+  }();
+  if (unfinished > 0) {
+    out << unfinished
+        << " leecher(s) never finished under the worst schedule\n";
+  }
+  return std::move(out).str();
+}
+
 }  // namespace dsa::report

@@ -119,4 +119,19 @@ std::string render_win_matrix(std::span<const obs::Event> events);
 /// flavor): n, completed, mean/p90/max seconds per label.
 std::string render_swarm_times(std::span<const obs::Event> events);
 
+// ------------------------------------------------- failure reports (explore)
+
+/// Chronological table of a run's kFault events (crashes, seeder outage
+/// begin/end) with per-event detail — the "what struck when" half of a
+/// worst-case failure report. Renders a placeholder note when the events
+/// hold no faults.
+std::string render_fault_timeline(std::span<const obs::Event> events);
+
+/// Per-leecher impact table contrasting a worst-schedule run against the
+/// fault-free baseline, from each run's kLeecher events: capacity, both
+/// download times, and the delta, plus mean-delta summary lines. Leechers
+/// that never finished render "-" and are excluded from the means.
+std::string render_fault_impact(std::span<const obs::Event> worst,
+                                std::span<const obs::Event> baseline);
+
 }  // namespace dsa::report

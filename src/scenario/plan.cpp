@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "scenario/explore_kind.hpp"
 #include "util/fingerprint.hpp"
 
 namespace dsa::scenario {
@@ -51,6 +52,11 @@ std::vector<std::string> job_columns_for(Kind kind) {
               "eval_runs", "opponent_probes", "performance_weight",
               "reference", "seed", "best_protocol", "best_objective",
               "evaluations"};
+    case Kind::kExplore:
+      // One row per canonical schedule; "schedule" is explore::describe()
+      // (';'-joined — CsvTable has no quoting).
+      return {"ordinal", "schedule", "depth", "objective", "value",
+              "mean_time_s", "max_time_s", "stall_ticks", "incomplete"};
   }
   return {};
 }
@@ -134,6 +140,40 @@ void expand_sweep_jobs(const ScenarioSpec& spec, std::uint64_t spec_fp,
   }
 }
 
+/// Shards the schedule space into [begin, end) ordinal chunks. The domain
+/// is rebuilt (and cross-validated) here so `dsa_cli plan` rejects a bad
+/// explore spec before any job runs.
+void expand_explore_jobs(const ScenarioSpec& spec, std::uint64_t spec_fp,
+                         Plan& plan) {
+  ParamSet params;
+  for (const Axis& axis : spec.axes) {
+    params.set(axis.name, axis.values.front());
+  }
+  const ExploreContext ctx = explore_context(params);
+  const std::uint64_t space = explore::count_space(ctx.domain);
+
+  for (std::uint64_t begin = 0; begin < space; begin += spec.chunk) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + spec.chunk, space);
+    Job job;
+    job.index = plan.jobs.size();
+    job.params = params;
+    job.protocols = {static_cast<std::uint32_t>(begin),
+                     static_cast<std::uint32_t>(end)};
+    util::Fingerprint fp(spec_fp ^ 0x9bd1f30a7c24e685ULL);
+    for (const Axis& axis : spec.axes) {
+      fp.mix(axis.name);
+      mix_value(fp, axis.values.front());
+    }
+    fp.mix(begin);
+    fp.mix(end);
+    job.fingerprint = fp.value();
+    job.label = "schedules " + std::to_string(begin) + ".." +
+                std::to_string(end - 1);
+    plan.jobs.push_back(std::move(job));
+  }
+}
+
 }  // namespace
 
 Plan expand_plan(const ScenarioSpec& spec) {
@@ -144,6 +184,8 @@ Plan expand_plan(const ScenarioSpec& spec) {
   plan.merged_columns = merged_columns_for(spec.kind);
   if (spec.kind == Kind::kSweep) {
     expand_sweep_jobs(spec, plan.spec_fingerprint, plan);
+  } else if (spec.kind == Kind::kExplore) {
+    expand_explore_jobs(spec, plan.spec_fingerprint, plan);
   } else {
     expand_grid_jobs(spec, plan.spec_fingerprint, plan);
   }

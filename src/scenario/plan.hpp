@@ -21,7 +21,8 @@ struct Job {
   std::uint64_t fingerprint = 0;
   std::string label;           // human-readable: the grid axes pinned
   ParamSet params;             // every axis pinned to one value
-  /// Sweep only: the protocol ids this shard quantifies.
+  /// Sweep: the protocol ids this shard quantifies. Explore: the two-entry
+  /// {begin, end} schedule-ordinal range this shard walks. Empty otherwise.
   std::vector<std::uint32_t> protocols;
 };
 

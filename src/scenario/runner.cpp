@@ -14,7 +14,9 @@
 #include "core/evolution.hpp"
 #include "core/pra.hpp"
 #include "core/search.hpp"
+#include "explore/explore.hpp"
 #include "fault/fault_plan.hpp"
+#include "scenario/explore_kind.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
@@ -309,6 +311,40 @@ JobRows execute_search(const Job& job) {
            std::to_string(result.evaluations)}};
 }
 
+/// One row per canonical schedule in the job's [begin, end) ordinal range.
+/// The walk order is fixed by the domain alone, so the rows — and therefore
+/// the merged CSV — are identical for any chunking, thread count, or resume
+/// point.
+JobRows execute_explore(const Job& job) {
+  const ExploreContext ctx = explore_context(job.params);
+  const std::uint64_t begin = job.protocols.at(0);
+  const std::uint64_t end = job.protocols.at(1);
+  const double cap = static_cast<double>(ctx.config.max_ticks);
+
+  JobRows rows;
+  explore::for_schedules_in(
+      ctx.domain, begin, end,
+      [&](std::uint64_t ordinal, const explore::Schedule& schedule) {
+        const swarm::SwarmResult result = run_explore_schedule(ctx, schedule);
+        const double value = explore_value(ctx, result);
+        std::size_t incomplete = 0;
+        for (const double t : result.completion_time) {
+          if (t < 0.0) ++incomplete;
+        }
+        rows.push_back(
+            {std::to_string(ordinal), explore::describe(ctx.domain, schedule),
+             std::to_string(schedule.size()),
+             explore::to_string(ctx.objective), util::exact_number(value),
+             util::exact_number(explore::objective_value(
+                 explore::Objective::kMeanTime, result, cap)),
+             util::exact_number(explore::objective_value(
+                 explore::Objective::kMaxTime, result, cap)),
+             std::to_string(result.fault_stats.stall_ticks),
+             std::to_string(incomplete)});
+      });
+  return rows;
+}
+
 JobRows execute_job(const ScenarioSpec& spec, const Job& job) {
   DSA_OBS_PHASE("scenario/job");
   switch (spec.kind) {
@@ -317,6 +353,7 @@ JobRows execute_job(const ScenarioSpec& spec, const Job& job) {
     case Kind::kEvolution: return execute_evolution(job);
     case Kind::kEss: return execute_ess(job);
     case Kind::kSearch: return execute_search(job);
+    case Kind::kExplore: return execute_explore(job);
   }
   throw std::logic_error("unknown scenario kind");
 }

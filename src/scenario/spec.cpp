@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "explore/explore.hpp"
 #include "swarming/protocol.hpp"
 #include "util/fingerprint.hpp"
 #include "util/json.hpp"
@@ -18,6 +19,7 @@ std::string to_string(Kind kind) {
     case Kind::kEvolution: return "evolution";
     case Kind::kEss: return "ess";
     case Kind::kSearch: return "search";
+    case Kind::kExplore: return "explore";
   }
   return "unknown";
 }
@@ -144,6 +146,7 @@ enum class ParamCheck : std::uint8_t {
   kNonNegative,        // number >= 0
   kPositive,           // number >= 1 (ints) / > 0 (doubles)
   kWeight,             // double in [0, 1]
+  kObjective,          // explore::parse_objective must accept it
 };
 
 struct ParamDef {
@@ -220,12 +223,39 @@ const std::vector<ParamDef>& params_for(Kind kind) {
       {"reference", PT::kString, std::string("bt"), PC::kProtocol},
       {"seed", PT::kInt, std::int64_t{7}, PC::kNonNegative},
   };
+  static const std::vector<ParamDef> explore = {
+      {"a", PT::kString, std::string("bt"), PC::kClient},
+      {"b", PT::kString, std::string("same"), PC::kClientOrSame},
+      {"fraction", PT::kDouble, 0.5, PC::kOpenUnitInterval},
+      {"total", PT::kInt, std::int64_t{20}, PC::kPositive},
+      {"seed", PT::kInt, std::int64_t{500}, PC::kNonNegative},
+      {"piece_count", PT::kInt, std::int64_t{40}, PC::kPositive},
+      {"piece_size_kb", PT::kDouble, 64.0, PC::kPositive},
+      {"seeder_capacity", PT::kDouble, 128.0, PC::kPositive},
+      {"max_ticks", PT::kInt, std::int64_t{20000}, PC::kPositive},
+      // Ambient fault knobs applied to every schedule of the exploration.
+      {"loss", PT::kDouble, 0.0, PC::kUnitInterval},
+      {"timeout", PT::kInt, std::int64_t{0}, PC::kNonNegative},
+      // Template vocabulary: crash templates for the first `crash_leechers`
+      // leechers, `outage_count` seeder-outage templates.
+      {"crash_leechers", PT::kInt, std::int64_t{2}, PC::kNonNegative},
+      {"crash_downtime", PT::kInt, std::int64_t{60}, PC::kPositive},
+      {"outage_count", PT::kInt, std::int64_t{1}, PC::kNonNegative},
+      {"outage_length", PT::kInt, std::int64_t{80}, PC::kPositive},
+      // Start-tick grid: tick_start, tick_start + tick_step, ...
+      {"tick_start", PT::kInt, std::int64_t{1}, PC::kNonNegative},
+      {"tick_step", PT::kInt, std::int64_t{40}, PC::kPositive},
+      {"tick_count", PT::kInt, std::int64_t{6}, PC::kPositive},
+      {"max_faults", PT::kInt, std::int64_t{2}, PC::kNonNegative},
+      {"objective", PT::kString, std::string("mean_time"), PC::kObjective},
+  };
   switch (kind) {
     case Kind::kSweep: return sweep;
     case Kind::kSwarm: return swarm;
     case Kind::kEvolution: return evolution;
     case Kind::kEss: return ess;
     case Kind::kSearch: return search;
+    case Kind::kExplore: return explore;
   }
   return sweep;
 }
@@ -295,6 +325,9 @@ void check_value(const ParamDef& def, const ParamValue& value,
           throw std::invalid_argument("value must be > 0");
         }
         break;
+      case ParamCheck::kObjective:
+        (void)explore::parse_objective(text());
+        break;
     }
   } catch (const std::invalid_argument& error) {
     where.fail(error.what());
@@ -319,8 +352,9 @@ Kind parse_kind(const json::Cursor& where) {
   if (text == "evolution") return Kind::kEvolution;
   if (text == "ess") return Kind::kEss;
   if (text == "search") return Kind::kSearch;
+  if (text == "explore") return Kind::kExplore;
   where.fail("unknown kind '" + text +
-             "' (want sweep, swarm, evolution, ess, or search)");
+             "' (want sweep, swarm, evolution, ess, search, or explore)");
 }
 
 ScenarioSpec build_spec(const json::Value& root, std::string origin) {
@@ -346,8 +380,8 @@ ScenarioSpec build_spec(const json::Value& root, std::string origin) {
     spec.retries = static_cast<std::size_t>(n);
   }
   if (const auto chunk = top.try_key("chunk")) {
-    if (spec.kind != Kind::kSweep) {
-      chunk->fail("chunk is only valid for kind \"sweep\"");
+    if (spec.kind != Kind::kSweep && spec.kind != Kind::kExplore) {
+      chunk->fail("chunk is only valid for kinds \"sweep\" and \"explore\"");
     }
     const std::int64_t n = chunk->as_int();
     if (n < 1) chunk->fail("chunk must be >= 1");
@@ -393,6 +427,10 @@ ScenarioSpec build_spec(const json::Value& root, std::string origin) {
       if (spec.kind == Kind::kSweep) {
         given->fail("kind \"sweep\" takes scalar parameters only (it shards "
                     "over protocol chunks, not parameter grids)");
+      }
+      if (spec.kind == Kind::kExplore) {
+        given->fail("kind \"explore\" takes scalar parameters only (it "
+                    "shards over schedule chunks, not parameter grids)");
       }
       if (given->size() == 0) given->fail("grid must not be empty");
       for (std::size_t i = 0; i < given->size(); ++i) {

@@ -17,7 +17,9 @@
 //
 // Kinds: sweep (full-space PRA quantification, sharded over protocol
 // chunks), swarm (piece-level mixed swarms, Sec. 5), evolution (replicator
-// dynamics), ess (evolutionary stability), search (heuristic hill climb).
+// dynamics), ess (evolutionary stability), search (heuristic hill climb),
+// explore (bounded worst-case fault-schedule search, sharded over schedule
+// ordinal chunks).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +37,7 @@ enum class Kind : std::uint8_t {
   kEvolution,
   kEss,
   kSearch,
+  kExplore,
 };
 
 [[nodiscard]] std::string to_string(Kind kind);
@@ -86,7 +89,8 @@ struct ScenarioSpec {
   std::size_t threads = 0;
   /// Retries after a job's first failed attempt.
   std::size_t retries = 1;
-  /// Sweep only: protocols per job (the sharding grain).
+  /// Sweep: protocols per job; explore: schedule ordinals per job (the
+  /// sharding grain). Unused by the other kinds.
   std::size_t chunk = 256;
   /// Every parameter of the kind's table, grids preserved, spec order.
   std::vector<Axis> axes;

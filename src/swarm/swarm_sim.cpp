@@ -50,7 +50,7 @@ void SwarmConfig::validate(std::size_t leecher_count) const {
   if (max_ticks == 0) {
     throw std::invalid_argument("SwarmConfig.max_ticks: must be > 0");
   }
-  faults.validate(leecher_count);
+  faults.validate(leecher_count, max_ticks);
 }
 
 double SwarmResult::group_mean_time(std::size_t begin, std::size_t end,
@@ -237,7 +237,7 @@ class SwarmEngine {
     if (!plan_.seeder_outages.empty()) {
       const bool down = plan_.seeder_down(tick);
       if (down && !seeder_out_) {
-        take_seeder_down();
+        take_seeder_down(tick);
       } else if (!down && seeder_out_) {
         restore_seeder(tick);
       }
@@ -253,6 +253,15 @@ class SwarmEngine {
     if (!active_[i] || is_complete(i)) return;
     ++stats_.crashes;
     stats_.pieces_wiped += have_count_[i];
+    if (capture_.rounds()) {
+      capture_.emit({.kind = obs::EventKind::kFault,
+                     .run = config_.seed,
+                     .time = static_cast<std::uint32_t>(tick),
+                     .actor = static_cast<std::uint32_t>(i),
+                     .value = {{static_cast<double>(crash.downtime),
+                                static_cast<double>(have_count_[i]), 0.0, 0.0}},
+                     .label = "crash"});
+    }
     for (std::size_t p = 0; p < pieces_; ++p) {
       if (have_[i * pieces_ + p]) --availability_[p];
       have_[i * pieces_ + p] = 0;
@@ -286,14 +295,32 @@ class SwarmEngine {
     crashed_until_[i] = static_cast<std::int64_t>(tick + crash.downtime);
   }
 
-  void take_seeder_down() {
+  void take_seeder_down(std::size_t tick) {
     seeder_out_ = true;
+    down_since_ = tick;
     active_[0] = 0;
     for (std::size_t p = 0; p < pieces_; ++p) --availability_[p];
     for (std::size_t receiver = 0; receiver < n_; ++receiver) {
       release_assignment(receiver, 0);
     }
     unchoked_[0].clear();
+    if (capture_.rounds()) {
+      // value[0] = the containing window's end tick, so a report can draw
+      // the full outage bar from its begin event alone.
+      double end_tick = 0.0;
+      for (const fault::SeederOutage& outage : plan_.seeder_outages) {
+        if (tick >= outage.begin_tick && tick < outage.end_tick) {
+          end_tick = static_cast<double>(outage.end_tick);
+          break;
+        }
+      }
+      capture_.emit({.kind = obs::EventKind::kFault,
+                     .run = config_.seed,
+                     .time = static_cast<std::uint32_t>(tick),
+                     .actor = 0,
+                     .value = {{end_tick, 0.0, 0.0, 0.0}},
+                     .label = "outage_begin"});
+    }
   }
 
   void restore_seeder(std::size_t tick) {
@@ -302,6 +329,15 @@ class SwarmEngine {
     for (std::size_t p = 0; p < pieces_; ++p) ++availability_[p];
     awaiting_recovery_ = true;
     recovery_start_ = tick;
+    if (capture_.rounds()) {
+      capture_.emit({.kind = obs::EventKind::kFault,
+                     .run = config_.seed,
+                     .time = static_cast<std::uint32_t>(tick),
+                     .actor = 0,
+                     .value = {{static_cast<double>(tick - down_since_), 0.0,
+                                0.0, 0.0}},
+                     .label = "outage_end"});
+    }
   }
 
   /// Abandons in-flight pieces that made no progress for the timeout window
@@ -736,6 +772,7 @@ class SwarmEngine {
   bool seeder_out_ = false;
   bool awaiting_recovery_ = false;
   std::size_t recovery_start_ = 0;
+  std::size_t down_since_ = 0;
   double recovery_total_ = 0.0;
   std::size_t recoveries_ = 0;
   FaultStats stats_;

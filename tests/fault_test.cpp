@@ -216,6 +216,81 @@ TEST(SwarmFaults, TimeoutsIssueRetriesUnderHeavyLoss) {
   EXPECT_GT(result.fault_stats.retries_issued, 0u);
 }
 
+// ----------------------------------------------------- schedule edge cases ----
+
+TEST(SwarmFaults, CrashAtTickZeroStrikesBeforeAnyTransfer) {
+  SwarmConfig config = small_config(37);
+  config.faults.crashes.push_back({/*leecher=*/1, /*tick=*/0, /*downtime=*/12});
+  const auto result = run_swarm(uniform(8, ClientVariant::kBitTorrent),
+                                std::vector<double>(8, 80.0), config);
+  // The victim holds nothing yet, so the crash strikes but wipes nothing.
+  EXPECT_EQ(result.fault_stats.crashes, 1u);
+  EXPECT_EQ(result.fault_stats.pieces_wiped, 0u);
+  EXPECT_TRUE(result.all_completed);
+  // It sat out the first 12 ticks, so it cannot beat that bound.
+  EXPECT_GT(result.completion_time[1], 12.0);
+}
+
+TEST(SwarmFaults, TwoCrashesOfTheSameLeecherBothStrike) {
+  SwarmConfig config = small_config(41);
+  // Second crash lands after the rejoin from the first (tick 8 + 10 < 25)
+  // but before the victim can finish its re-download, so it is struck twice
+  // and restarts from zero pieces twice.
+  config.faults.crashes.push_back({/*leecher=*/0, /*tick=*/8, /*downtime=*/10});
+  config.faults.crashes.push_back({/*leecher=*/0, /*tick=*/25, /*downtime=*/10});
+  const auto once = [&] {
+    SwarmConfig single = small_config(41);
+    single.faults.crashes.push_back({0, 8, 10});
+    return run_swarm(uniform(8, ClientVariant::kBitTorrent),
+                     std::vector<double>(8, 80.0), single);
+  }();
+  const auto twice = run_swarm(uniform(8, ClientVariant::kBitTorrent),
+                               std::vector<double>(8, 80.0), config);
+  EXPECT_EQ(twice.fault_stats.crashes, 2u);
+  EXPECT_TRUE(twice.all_completed);
+  // The second strike wipes the progress rebuilt since the first rejoin;
+  // the victim sat out until tick 35, so it cannot beat that bound.
+  EXPECT_GE(twice.completion_time[0], once.completion_time[0]);
+  EXPECT_GT(twice.completion_time[0], 35.0);
+}
+
+TEST(SwarmFaults, OutageSpanningTheFinalTickCountsOnlySimulatedTicks) {
+  SwarmConfig config = small_config(43);
+  config.max_ticks = 60;
+  // The window runs past the horizon; only in-run ticks are counted, and a
+  // window that never ends inside the run records no recovery sample.
+  config.faults.seeder_outages.push_back({/*begin=*/50, /*end=*/200});
+  const auto result = run_swarm(uniform(6, ClientVariant::kBitTorrent),
+                                std::vector<double>(6, 90.0), config);
+  EXPECT_LE(result.fault_stats.seeder_down_ticks, 10u);
+  EXPECT_LT(result.fault_stats.mean_seeder_recovery_ticks, 0.0);
+}
+
+TEST(SwarmFaults, RetryBackoffSaturatesAtTheCapAndStillCompletes) {
+  // Heavy loss with a tiny cap forces many consecutive timeouts per link;
+  // the doubling backoff must clamp at max_backoff_ticks instead of growing
+  // unboundedly (which would starve the link and strand the swarm).
+  SwarmConfig config = small_config(47);
+  config.max_ticks = 4000;
+  config.faults.message_loss = 0.8;
+  config.faults.piece_timeout_ticks = 2;
+  config.faults.retry_backoff_ticks = 2;
+  config.faults.max_backoff_ticks = 4;
+  const auto capped = run_swarm(uniform(6, ClientVariant::kBitTorrent),
+                                std::vector<double>(6, 90.0), config);
+  EXPECT_GT(capped.fault_stats.retries_issued, 0u);
+  EXPECT_TRUE(capped.all_completed);
+
+  // A looser cap means longer waits between retries on hot links, so the
+  // saturated plan never issues fewer retries than the loose one.
+  SwarmConfig loose = config;
+  loose.faults.max_backoff_ticks = 512;
+  const auto uncapped = run_swarm(uniform(6, ClientVariant::kBitTorrent),
+                                  std::vector<double>(6, 90.0), loose);
+  EXPECT_GE(capped.fault_stats.retries_issued,
+            uncapped.fault_stats.retries_issued);
+}
+
 // -------------------------------------------------------------- validation ----
 
 template <typename Fn>
@@ -269,6 +344,59 @@ TEST(FaultValidation, ErrorsNameTheOffendingField) {
               (void)fault::make_fault_plan(spec, 10, 100);
             }).find("intensity"),
             std::string::npos);
+
+  fault::FaultPlan overlapping;
+  overlapping.seeder_outages.push_back({10, 50});
+  overlapping.seeder_outages.push_back({40, 80});
+  EXPECT_NE(
+      thrown_message([&] { overlapping.validate(10); }).find("overlap"),
+      std::string::npos);
+
+  fault::FaultPlan beyond_horizon;
+  beyond_horizon.crashes.push_back({0, 100, 5});
+  EXPECT_NE(thrown_message([&] {
+              beyond_horizon.validate(10, /*max_ticks=*/100);
+            }).find("horizon"),
+            std::string::npos);
+  beyond_horizon.validate(10);  // no horizon given: any tick is legal
+
+  fault::FaultPlan inverted_backoff;
+  inverted_backoff.piece_timeout_ticks = 5;
+  inverted_backoff.retry_backoff_ticks = 8;
+  inverted_backoff.max_backoff_ticks = 4;
+  EXPECT_NE(thrown_message([&] {
+              inverted_backoff.validate(10);
+            }).find("max_backoff"),
+            std::string::npos);
+
+  // The swarm config path funnels through the same plan validation.
+  SwarmConfig faulty_config;
+  faulty_config.faults.seeder_outages.push_back({5, 5});
+  EXPECT_NE(thrown_message([&] {
+              faulty_config.validate(5);
+            }).find("seeder_outages"),
+            std::string::npos);
+}
+
+TEST(MakeFaultPlan, IntensityOneClampsLossAndNeverEmitsZeroDowntime) {
+  // At intensity exactly 1.0 the loss product must clamp into [0, 1] and
+  // every generated crash must carry downtime >= 1, across many seeds and a
+  // degenerate one-tick horizon.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    fault::FaultSpec spec;
+    spec.intensity = 1.0;
+    spec.max_message_loss = 1.0;
+    spec.seed = seed;
+    const auto plan = fault::make_fault_plan(spec, 20, 1000);
+    EXPECT_LE(plan.message_loss, 1.0);
+    EXPECT_GE(plan.message_loss, 0.0);
+    for (const auto& crash : plan.crashes) EXPECT_GE(crash.downtime, 1u);
+    plan.validate(20);
+
+    const auto tiny = fault::make_fault_plan(spec, 4, /*horizon_ticks=*/1);
+    for (const auto& crash : tiny.crashes) EXPECT_GE(crash.downtime, 1u);
+    tiny.validate(4);
+  }
 }
 
 // ------------------------------------------------- round-model processes ----

@@ -293,6 +293,12 @@ std::vector<obs::Event> synthetic_events() {
                     .value = {{25.0, 50.0, 20000.0, 0.0}},
                     .label = "bittorrent|birds",
                     .detail = "Fig. 9(b)"});
+  events.push_back({.kind = obs::EventKind::kFault,
+                    .run = (1ull << 60) + 3,
+                    .time = 81,
+                    .actor = 3,
+                    .value = {{60.0, 7.0, 0.0, 0.0}},
+                    .label = "crash"});
   std::stable_sort(events.begin(), events.end(), obs::event_less);
   return events;
 }

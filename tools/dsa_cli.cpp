@@ -10,12 +10,15 @@
 //   dsa_cli evolve --protocols bt,birds,loyal --generations 40
 //   dsa_cli plan examples/scenarios/pra_sweep.json --jobs
 //   dsa_cli run examples/scenarios/pra_sweep.json
+//   dsa_cli explore examples/scenarios/fault_explore.json
+//   dsa_cli swarm --fault-file results/fault_explore.worst.json
 //   dsa_cli record --out r.jsonl --context demo swarm --runs 3
 //   dsa_cli report r.jsonl --table fig9
 //   dsa_cli help run
 //
 // Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
 // space ids. Every command accepts --seed.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +32,8 @@
 #include "core/evolution.hpp"
 #include "core/pra.hpp"
 #include "core/subspace.hpp"
+#include "explore/counterexample.hpp"
+#include "explore/explore.hpp"
 #include "fault/fault_plan.hpp"
 #include "gametheory/expected_wins.hpp"
 #include "obs/metrics.hpp"
@@ -37,13 +42,16 @@
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "report/report.hpp"
+#include "scenario/explore_kind.hpp"
 #include "scenario/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/fingerprint.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -110,7 +118,8 @@ const util::HelpIndex& help_index() {
        "DSA_SEED / DSA_ENGINE; threads via --threads or DSA_THREADS.\n"},
       {"swarm", "piece-level swarm head-to-head (Sec. 5)",
        "usage: dsa_cli swarm [--a C] [--b C] [--fraction X] [--runs N]\n"
-       "                     [--seed N] [fault flags]\n\n"
+       "                     [--seed N] [fault flags]\n"
+       "       dsa_cli swarm --fault-file FILE [--runs N]\n\n"
        "Piece-level BitTorrent swarm: fraction*50 leechers run client A\n"
        "against the rest on B, capacities from the Piatek distribution.\n"
        "clients: bt, birds, loyal, sorts, random\n"
@@ -126,7 +135,15 @@ const util::HelpIndex& help_index() {
        "  --outage-frac X  seeder outage length at full intensity, as a\n"
        "                   fraction of the horizon (default 0.25)\n"
        "  --horizon T      ticks the fault schedule spans; keep it near the\n"
-       "                   expected run length (default 600)\n"},
+       "                   expected run length (default 600)\n\n"
+       "replay mode:\n"
+       "  --fault-file F   replay a committed fault plan or explorer\n"
+       "                   counterexample JSON (see `dsa_cli explore`); the\n"
+       "                   embedded swarm block pins clients, composition,\n"
+       "                   knobs, and seed, so --runs 1 (the default) is a\n"
+       "                   bitwise replay of the recorded run. Exits 1 when\n"
+       "                   the replayed objective value differs from the\n"
+       "                   recorded one.\n"},
       {"nash", "Sec. 2.2/Appendix analytical model",
        "usage: dsa_cli nash [--na N] [--nb N] [--nc N] [--ur N]\n\n"
        "Analytical expected-game-wins model: homogeneous BT vs Birds plus\n"
@@ -170,6 +187,28 @@ const util::HelpIndex& help_index() {
        "                   never affects the output bytes\n"
        "  --keep-manifest  keep the job manifest after a successful merge\n"
        "  --quiet          suppress the progress meter and resume notes\n"},
+      {"explore", "worst-case fault-schedule search (explore spec)",
+       "usage: dsa_cli explore <spec.json> [--threads N] [--keep-manifest]\n"
+       "                       [--quiet] [--worst-out FILE]\n\n"
+       "Systematic worst-case search over the fault-schedule space declared\n"
+       "by an explore-kind scenario spec: every crash/outage schedule of at\n"
+       "most `max_faults` faults is enumerated (order-equivalent twins are\n"
+       "pruned), simulated against the pinned swarm run, and ranked by the\n"
+       "spec's objective. Enumeration shards through the crash-tolerant\n"
+       "scenario runner: a killed exploration resumes from its manifest and\n"
+       "the ranked CSV is byte-identical at any thread count.\n\n"
+       "After the sweep the worst schedule is shrunk delta-debugging-style\n"
+       "to a 1-minimal counterexample, saved as a replayable JSON (see\n"
+       "`dsa_cli swarm --fault-file`), and re-run under the flight recorder\n"
+       "to render a failure report: fault timeline + per-leecher impact vs\n"
+       "the fault-free baseline.\n\n"
+       "flags:\n"
+       "  --threads N      worker threads (default DSA_THREADS, 0 = auto);\n"
+       "                   never affects the output bytes\n"
+       "  --keep-manifest  keep the job manifest after a successful merge\n"
+       "  --quiet          suppress the progress meter and resume notes\n"
+       "  --worst-out F    counterexample path (default: the spec output\n"
+       "                   with its extension replaced by .worst.json)\n"},
       {"record", "run a command with the flight recorder on",
        "usage: dsa_cli record [--out FILE] [--level rounds|full]\n"
        "                      [--stride N] [--context TEXT] <command> ...\n\n"
@@ -390,7 +429,67 @@ int cmd_pra(const util::CliArgs& args) {
   return 0;
 }
 
+// `swarm --fault-file`: replay a committed fault plan / explorer
+// counterexample. The file pins everything (clients, composition, knobs,
+// seed), so the only knob left is --runs; run r uses seed + r, making the
+// default --runs 1 a bitwise replay of the run the explorer recorded.
+int cmd_swarm_replay(const std::string& path, const util::CliArgs& args) {
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
+  reject_unknown_flags(args);
+  if (runs == 0) usage("--runs must be >= 1");
+  try {
+    const explore::Counterexample ce = explore::load_counterexample(path);
+    const auto a = explore::client_from_name(ce.a);
+    const auto b = ce.b == "same" ? a : explore::client_from_name(ce.b);
+    const explore::Objective objective = explore::parse_objective(ce.objective);
+    swarm::SwarmConfig config = explore::swarm_config(ce);
+    const double cap = static_cast<double>(config.max_ticks);
+
+    std::printf("replaying %s\n", path.c_str());
+    std::printf("  %s vs %s, %zu/%zu leechers, seed %llu\n",
+                to_string(a).c_str(), to_string(b).c_str(), ce.count_a,
+                ce.total, static_cast<unsigned long long>(ce.seed));
+    std::printf("  schedule: %s\n",
+                ce.schedule.empty() ? "(unrecorded)" : ce.schedule.c_str());
+
+    double replayed = 0.0;
+    for (std::size_t run = 0; run < runs; ++run) {
+      config.seed = ce.seed + run;
+      const swarm::SwarmResult result =
+          swarm::run_mixed_swarm(a, b, ce.count_a, ce.total, config);
+      const double value = explore::objective_value(objective, result, cap);
+      if (run == 0) replayed = value;
+      double max_time = 0.0;
+      for (const double t : result.completion_time) {
+        max_time = std::max(max_time, t < 0.0 ? cap : t);
+      }
+      std::printf("  run %zu: %s = %s, mean %.1f s, max %.1f s, "
+                  "%llu stall ticks%s\n",
+                  run, ce.objective.c_str(), util::exact_number(value).c_str(),
+                  result.group_mean_time(0, ce.total, cap), max_time,
+                  static_cast<unsigned long long>(
+                      result.fault_stats.stall_ticks),
+                  result.all_completed ? "" : " (incomplete)");
+    }
+    // A bare fault plan carries no recorded value; only counterexamples
+    // (schedule recorded) assert bitwise reproduction.
+    if (!ce.schedule.empty()) {
+      const bool match = replayed == ce.value;
+      std::printf("recorded %s = %s -> %s\n", ce.objective.c_str(),
+                  util::exact_number(ce.value).c_str(),
+                  match ? "bitwise match" : "MISMATCH");
+      if (!match) return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
+
 int cmd_swarm(const util::CliArgs& args) {
+  const std::string fault_file = args.get("fault-file", "");
+  if (!fault_file.empty()) return cmd_swarm_replay(fault_file, args);
   const auto a = parse_client(args.get("a", "birds"));
   const auto b = parse_client(args.get("b", "bt"));
   const double fraction = args.get_double("fraction", 0.5);
@@ -691,6 +790,173 @@ int cmd_run(const util::CliArgs& args) {
   }
 }
 
+// The post-sweep half of `dsa_cli explore`: rank the merged CSV, shrink the
+// worst schedule, save the counterexample, and render the failure report.
+// Split out of cmd_explore so the try block stays readable.
+int explore_postprocess(const scenario::Plan& plan,
+                        const std::filesystem::path& output,
+                        const std::string& worst_out) {
+  // Rank: worst value first, ties to the lowest ordinal. Merged rows are in
+  // ordinal order, so keeping the first strict improvement does both.
+  const util::CsvTable table = util::CsvTable::load(output);
+  if (table.row_count() == 0) {
+    std::fprintf(stderr, "error: %s holds no schedules\n",
+                 output.string().c_str());
+    return 1;
+  }
+  std::size_t worst_row = 0;
+  double worst_value = table.number_at(0, "value");
+  double baseline_value = 0.0;
+  bool saw_baseline = false;
+  for (std::size_t row = 0; row < table.row_count(); ++row) {
+    const double value = table.number_at(row, "value");
+    if (value > worst_value) {
+      worst_value = value;
+      worst_row = row;
+    }
+    if (table.at(row, "ordinal") == "0") {
+      baseline_value = value;
+      saw_baseline = true;
+    }
+  }
+  if (!saw_baseline) {
+    // Ordinal 0 is the fault-free schedule; every full exploration has it.
+    std::fprintf(stderr, "error: %s is missing the ordinal-0 baseline row\n",
+                 output.string().c_str());
+    return 1;
+  }
+  const std::uint64_t worst_ordinal =
+      std::stoull(table.at(worst_row, "ordinal"));
+
+  // Rebuild the worst Schedule from its ordinal (jobs all share the params).
+  const scenario::ExploreContext ctx =
+      scenario::explore_context(plan.jobs.front().params);
+  explore::Schedule worst;
+  explore::for_schedules_in(
+      ctx.domain, worst_ordinal, worst_ordinal + 1,
+      [&](std::uint64_t, const explore::Schedule& schedule) {
+        worst = schedule;
+      });
+  std::printf("worst schedule: #%llu  %s\n",
+              static_cast<unsigned long long>(worst_ordinal),
+              table.at(worst_row, "schedule").c_str());
+  std::printf("  %s = %s (fault-free baseline %s)\n",
+              to_string(ctx.objective),
+              util::exact_number(worst_value).c_str(),
+              util::exact_number(baseline_value).c_str());
+  if (worst.empty()) {
+    std::printf("no schedule beats the fault-free baseline; nothing to "
+                "shrink\n");
+    return 0;
+  }
+
+  const explore::EvaluateFn evaluate =
+      [&](const explore::Schedule& schedule) {
+        return scenario::explore_value(
+            ctx, scenario::run_explore_schedule(ctx, schedule));
+      };
+  const explore::ShrinkResult shrunk =
+      explore::shrink(worst, worst_value, evaluate);
+  std::printf("shrunk to %zu fault(s) in %zu evaluation(s): %s = %s\n",
+              shrunk.schedule.size(), shrunk.evaluations,
+              to_string(ctx.objective),
+              util::exact_number(shrunk.value).c_str());
+
+  explore::Counterexample ce;
+  ce.plan = explore::materialize(ctx.domain, shrunk.schedule, ctx.loss,
+                                 ctx.timeout);
+  ce.a = ctx.a_name;
+  ce.b = ctx.b_name;
+  ce.count_a = ctx.count_a;
+  ce.total = ctx.total;
+  ce.seed = ctx.config.seed;
+  ce.piece_count = ctx.config.piece_count;
+  ce.piece_size_kb = ctx.config.piece_size_kb;
+  ce.seeder_capacity_kbps = ctx.config.seeder_capacity_kbps;
+  ce.max_ticks = ctx.config.max_ticks;
+  ce.objective = explore::to_string(ctx.objective);
+  ce.value = shrunk.value;
+  ce.baseline = baseline_value;
+  ce.schedule = explore::describe(ctx.domain, shrunk.schedule);
+  std::filesystem::path ce_path;
+  if (worst_out.empty()) {
+    ce_path = plan.spec.output;
+    ce_path.replace_extension();
+    ce_path += ".worst.json";
+  } else {
+    ce_path = worst_out;
+  }
+  explore::save_counterexample(ce_path, ce);
+  std::printf("counterexample -> %s\n", ce_path.string().c_str());
+  std::printf("replay with: dsa_cli swarm --fault-file %s\n",
+              ce_path.string().c_str());
+
+#if DSA_OBS_COMPILED_IN
+  // Failure report: re-run the shrunk schedule and the fault-free baseline
+  // under the flight recorder at full detail, then contrast them. Any
+  // ambient recording (e.g. `dsa_cli record explore ...`) is preserved
+  // around the bracket.
+  obs::Recorder& recorder = obs::Recorder::global();
+  const obs::RecorderOptions saved{recorder.level(), recorder.stride()};
+  std::vector<obs::Event> ambient = recorder.snapshot();
+  recorder.configure({obs::RecordLevel::kFull, 1});
+  recorder.reset();
+  (void)scenario::run_explore_schedule(ctx, shrunk.schedule);
+  const std::vector<obs::Event> worst_events = recorder.snapshot();
+  recorder.reset();
+  (void)scenario::run_explore_schedule(ctx, explore::Schedule{});
+  const std::vector<obs::Event> baseline_events = recorder.snapshot();
+  recorder.reset();
+  recorder.configure(saved);
+  recorder.append(std::move(ambient));
+  std::cout << report::render_fault_timeline(worst_events);
+  std::cout << report::render_fault_impact(worst_events, baseline_events);
+#else
+  std::printf("(failure report skipped: recorder compiled out, "
+              "-DDSA_TRACE=OFF)\n");
+#endif
+  return 0;
+}
+
+int cmd_explore(const util::CliArgs& args) {
+  const std::string path = args.positional(0);
+  scenario::RunOptions options;
+  options.threads = static_cast<std::size_t>(
+      args.get_int("threads", util::env_int("DSA_THREADS", 0)));
+  options.keep_manifest = args.has("keep-manifest");
+  options.verbose = !args.has("quiet");
+  const std::string worst_out = args.get("worst-out", "");
+  reject_unknown_flags(args);
+  if (path.empty()) {
+    usage("explore needs a spec file: dsa_cli explore <spec.json>");
+  }
+  try {
+    const scenario::Plan plan =
+        scenario::expand_plan(scenario::parse_scenario_file(path));
+    if (plan.spec.kind != scenario::Kind::kExplore) {
+      throw std::runtime_error(
+          "spec kind is \"" + scenario::to_string(plan.spec.kind) +
+          "\"; `dsa_cli explore` needs kind \"explore\" (use `dsa_cli run`)");
+    }
+    const scenario::RunReport report = scenario::run_scenario(plan, options);
+    if (report.reused_output) {
+      std::printf("output %s already exists; ranking the cached sweep "
+                  "(delete it to re-explore)\n",
+                  report.output.string().c_str());
+    } else {
+      std::printf("explored '%s': %zu jobs (%zu run, %zu resumed",
+                  plan.spec.name.c_str(), report.total, report.executed,
+                  report.skipped);
+      if (report.retried > 0) std::printf(", %zu retries", report.retried);
+      std::printf(") -> %s\n", report.output.string().c_str());
+    }
+    return explore_postprocess(plan, report.output, worst_out);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
 int dispatch(const std::string& command, const util::CliArgs& args);
 
 // `record` owns the flags before the inner command, then re-parses the rest
@@ -834,6 +1100,7 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "evolve") return cmd_evolve(args);
   if (command == "plan") return cmd_plan(args);
   if (command == "run") return cmd_run(args);
+  if (command == "explore") return cmd_explore(args);
   if (command == "report") return cmd_report(args);
   if (command == "help") return cmd_help(args);
   if (command == "version") return cmd_version();
