@@ -53,6 +53,19 @@ inline void write_metrics(const std::string& name) {
   std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
 }
 
+/// Display name of a simulation engine, for banners and BENCH json.
+inline const char* engine_name(swarming::SimEngine engine) {
+  switch (engine) {
+    case swarming::SimEngine::kDense:
+      return "dense";
+    case swarming::SimEngine::kBatch:
+      return "batch";
+    case swarming::SimEngine::kSparse:
+      break;
+  }
+  return "sparse";
+}
+
 /// Renders the shared BENCH_<name>.json schema: bench id, the env scale
 /// knobs plus any bench-specific ones, engine, threads, and the wall-time
 /// distribution over the sample list (median / p10 / p90, milliseconds).
@@ -67,8 +80,7 @@ inline std::string bench_json(
   std::ostringstream out;
   out << "{\"type\":\"bench\",\"schema\":1,\"bench\":\""
       << util::json::escape(name) << "\",\"engine\":\""
-      << (options.engine == swarming::SimEngine::kDense ? "dense" : "sparse")
-      << "\",\"threads\":" << threads
+      << engine_name(options.engine) << "\",\"threads\":" << threads
       << ",\"repetitions\":" << wall_ms.size() << ",\"wall_time_ms\":{"
       << "\"median\":" << util::exact_number(stats::percentile(wall_ms, 0.5))
       << ",\"p10\":" << util::exact_number(stats::percentile(wall_ms, 0.1))
@@ -177,7 +189,7 @@ inline void runtime_banner() {
       options.pra.performance_runs, options.pra.encounter_runs,
       options.pra.opponent_sample,
       static_cast<unsigned long long>(options.pra.seed),
-      options.engine == swarming::SimEngine::kDense ? "dense" : "sparse");
+      engine_name(options.engine));
 }
 
 /// Prints the standard bench banner (and the runtime config to stderr).

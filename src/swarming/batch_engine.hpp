@@ -1,0 +1,105 @@
+// Batch-lockstep execution of the round model: W independent simulations
+// advance round-by-round together.
+//
+// The lanes share the round/churn/fault configuration and the population
+// size but carry their own protocol vector, capacity vector, and seed. Per
+// round the engine:
+//   * bulk-advances all W RNG streams for the tie-priority draws
+//     (util::LaneRng::next_all — the auto-vectorizable inner loop),
+//   * runs every peer's act() across the lanes at the same round index, so
+//     the protocol table and config stay hot while the batch is swept,
+//   * updates the per-peer scalar state (capacities, aspiration, received
+//     totals) held as W-wide lanes — structure-of-arrays over runs, index
+//     [peer * W + lane] — in straight-line loops over the batch.
+//
+// Every lane's result is bitwise-identical to running that lane alone on
+// the sparse or dense engine with the same seed: each lane owns a private
+// RNG stream equal to util::Rng(seed) draw-for-draw, and all floating-point
+// expressions keep the sparse engine's exact shape (no reassociation, no
+// precomputed reciprocals), so identical operations execute in identical
+// order per lane. The equivalence is enforced by the simulator tests and
+// the golden-fingerprint suites at every tested batch width.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fault/fault_process.hpp"
+#include "swarming/bandwidth.hpp"
+#include "swarming/protocol.hpp"
+#include "swarming/simulator.hpp"
+
+namespace dsa::swarming {
+
+/// One lane of a lockstep batch: an independent simulation. The pointed-to
+/// vectors must outlive the simulate_rounds_batch call and all lanes of one
+/// call must describe the same population size.
+struct BatchLane {
+  const std::vector<ProtocolSpec>* protocols = nullptr;
+  const std::vector<double>* capacities = nullptr;
+  std::uint64_t seed = 0;
+};
+
+/// Reusable scratch memory for the batch engine: per-lane interaction
+/// histories plus the W-wide state lanes of a batch. Same reuse contract as
+/// SimWorkspace — one workspace per thread, never shared between concurrent
+/// calls, reuse across calls is allocation-free once grown and never
+/// changes results.
+class BatchWorkspace {
+ public:
+  BatchWorkspace();
+  ~BatchWorkspace();
+  BatchWorkspace(BatchWorkspace&&) noexcept;
+  BatchWorkspace& operator=(BatchWorkspace&&) noexcept;
+  BatchWorkspace(const BatchWorkspace&) = delete;
+  BatchWorkspace& operator=(const BatchWorkspace&) = delete;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Runs all `lanes` in lockstep; entry w is exactly what
+/// simulate_rounds(*lanes[w].protocols, *lanes[w].capacities, config) with
+/// config.seed = lanes[w].seed would return on any engine. `config.seed` is
+/// ignored (each lane carries its own). Throws std::invalid_argument on an
+/// empty batch, mismatched population sizes, or a missing churn source when
+/// the config replaces peers. When `workspace` is null a thread-local one
+/// is used, so back-to-back batches on one thread reuse allocations.
+std::vector<SimulationOutcome> simulate_rounds_batch(
+    std::span<const BatchLane> lanes, const SimulationConfig& config,
+    const BandwidthDistribution* churn_source = nullptr,
+    BatchWorkspace* workspace = nullptr);
+
+/// Batched homogeneous performance runs: all `count` peers execute `spec`;
+/// lane w uses seeds[w] (capacities drawn per lane exactly as
+/// run_homogeneous_throughput does). out[w] receives lane w's population
+/// mean; out.size() must equal seeds.size().
+void run_homogeneous_throughput_batch(const ProtocolSpec& spec,
+                                      std::size_t count,
+                                      const SimulationConfig& config,
+                                      const BandwidthDistribution& bandwidths,
+                                      std::span<const std::uint64_t> seeds,
+                                      std::span<double> out);
+
+/// One encounter of a batched tournament: lane w plays `a` (count_a peers)
+/// against opponents[w] (count_b peers) with seeds[w].
+struct BatchEncounter {
+  ProtocolSpec opponent;
+  std::uint64_t seed = 0;
+};
+
+/// Batched encounters sharing protocol `a` and the group split; out[w]
+/// receives lane w's (group a mean, group b mean). out.size() must equal
+/// encounters.size().
+void run_encounter_batch(const ProtocolSpec& a, std::size_t count_a,
+                         std::size_t count_b, const SimulationConfig& config,
+                         const BandwidthDistribution& bandwidths,
+                         std::span<const BatchEncounter> encounters,
+                         std::span<EncounterOutcome> out);
+
+}  // namespace dsa::swarming

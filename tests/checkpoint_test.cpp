@@ -161,7 +161,8 @@ struct SliceScale {
 /// reuses the pool's thread-local simulation workspaces).
 std::string pra_slice_bytes(swarming::SimEngine sim_engine,
                             std::size_t threads, const SliceScale& scale,
-                            std::size_t passes = 1) {
+                            std::size_t passes = 1,
+                            std::size_t batch_width = 1) {
   swarming::SimulationConfig sim;
   sim.rounds = scale.rounds;
   sim.engine = sim_engine;
@@ -178,6 +179,7 @@ std::string pra_slice_bytes(swarming::SimEngine sim_engine,
   config.encounter_runs = scale.encounter_runs;
   config.seed = 2011;
   config.threads = threads;
+  config.batch_width = batch_width;
   const core::PraEngine engine(subset, config);
 
   std::vector<core::ProtocolMetrics> metrics;
@@ -227,6 +229,27 @@ TEST(PraGoldenFingerprint, SparseMatchesDenseAtDefaultScale) {
             pra_slice_bytes(swarming::SimEngine::kDense, 2, scale));
 }
 
+TEST(PraGoldenFingerprint, BatchMatchesSparseAtDefaultScaleAcrossWidths) {
+  // The batched quantify grid only regroups tasks: every width — including
+  // widths that leave odd remainders against the 3-run / 3-opponent game
+  // counts — must persist the same CSV bytes as the scalar sparse sweep,
+  // with 1 and with 4 worker threads.
+  const SliceScale scale;
+  const std::string golden =
+      pra_slice_bytes(swarming::SimEngine::kSparse, 2, scale);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{5}, std::size_t{8}}) {
+    SCOPED_TRACE("batch width " + std::to_string(width));
+    EXPECT_EQ(golden, pra_slice_bytes(swarming::SimEngine::kBatch, 1, scale,
+                                      /*passes=*/1, width));
+    EXPECT_EQ(golden, pra_slice_bytes(swarming::SimEngine::kBatch, 4, scale,
+                                      /*passes=*/1, width));
+  }
+  // Workspace reuse across passes must be invisible on the batch engine too.
+  EXPECT_EQ(golden, pra_slice_bytes(swarming::SimEngine::kBatch, 4, scale,
+                                    /*passes=*/2, 8));
+}
+
 TEST(PraGoldenFingerprint, SparseMatchesDenseAtFullSubsetScale) {
   // DSA_FULL-subset scale: the paper-fidelity 500 rounds and 10 encounter
   // runs, on the named-protocol subset so the test stays tier-1 fast.
@@ -236,6 +259,19 @@ TEST(PraGoldenFingerprint, SparseMatchesDenseAtFullSubsetScale) {
   scale.encounter_runs = 10;
   EXPECT_EQ(pra_slice_bytes(swarming::SimEngine::kSparse, 2, scale),
             pra_slice_bytes(swarming::SimEngine::kDense, 2, scale));
+}
+
+TEST(PraGoldenFingerprint, BatchMatchesSparseAtFullSubsetScale) {
+  // The same paper-fidelity subset scale on the lockstep engine at the
+  // auto-selected width 8 (10 runs per protocol: one full batch of 8 plus
+  // an odd remainder of 2).
+  SliceScale scale;
+  scale.rounds = 500;
+  scale.performance_runs = 10;
+  scale.encounter_runs = 10;
+  EXPECT_EQ(pra_slice_bytes(swarming::SimEngine::kSparse, 2, scale),
+            pra_slice_bytes(swarming::SimEngine::kBatch, 2, scale,
+                            /*passes=*/1, 8));
 }
 
 TEST(PraCheckpoint, MissingOrMalformedCheckpointYieldsEmpty) {
