@@ -24,6 +24,7 @@
 #include "util/env.hpp"
 #include "util/fingerprint.hpp"
 #include "util/fs.hpp"
+#include "util/proc_stat.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -74,6 +75,10 @@ inline std::string bench_json(
     const std::string& name, const std::vector<double>& wall_ms,
     const std::vector<std::pair<std::string, std::string>>& knobs) {
   const auto options = swarming::PraDatasetOptions::from_environment();
+  // End-of-run memory footprint (zeros off-Linux). bench_compare reads only
+  // the fields it is asked about, so the extra object never breaks committed
+  // baselines.
+  const util::ProcStat mem = util::read_proc_stat();
   const std::size_t threads = options.pra.threads == 0
                                   ? util::ThreadPool::default_thread_count()
                                   : options.pra.threads;
@@ -85,7 +90,8 @@ inline std::string bench_json(
       << "\"median\":" << util::exact_number(stats::percentile(wall_ms, 0.5))
       << ",\"p10\":" << util::exact_number(stats::percentile(wall_ms, 0.1))
       << ",\"p90\":" << util::exact_number(stats::percentile(wall_ms, 0.9))
-      << "},\"knobs\":{";
+      << "},\"mem_kb\":{\"rss\":" << mem.rss_kb
+      << ",\"peak\":" << mem.peak_rss_kb << "},\"knobs\":{";
   bool first = true;
   for (const auto& [key, json_value] : knobs) {
     if (!first) out << ',';
@@ -129,6 +135,13 @@ struct MetricsScope {
     // A bench's perf summary must never turn a successful run into a crash:
     // swallow I/O errors (e.g. a missing results/ dir on a read-only mount).
     try {
+      if (obs::enabled()) {
+        const util::ProcStat mem = util::read_proc_stat();
+        obs::Registry::global().gauge("proc.rss_kb").set(
+            static_cast<double>(mem.rss_kb));
+        obs::Registry::global().gauge("proc.peak_rss_kb").set(
+            static_cast<double>(mem.peak_rss_kb));
+      }
       write_metrics(name_);
       if (metrics_requested()) {
         if (wall_ms_.empty()) {

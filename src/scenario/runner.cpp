@@ -22,6 +22,7 @@
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
@@ -314,6 +315,27 @@ JobRows execute_search(const Job& job) {
            std::to_string(result.evaluations)}};
 }
 
+/// Worst-value-so-far across every explore schedule this process simulated.
+/// Feeds the `explore.best_value` gauge (live telemetry only — results flow
+/// through the manifest rows, never through this). Process-lifetime by
+/// design: a resumed search keeps ratcheting from where its own sims left
+/// off.
+std::atomic<double> g_explore_best{-1.0};
+
+void note_explore_schedule(const explore::Schedule& schedule, double value) {
+  if (!obs::enabled()) return;
+  auto& registry = obs::Registry::global();
+  registry.counter("explore.schedules_simulated").increment();
+  registry.gauge("explore.frontier_depth")
+      .set(static_cast<double>(schedule.size()));
+  double best = g_explore_best.load(std::memory_order_relaxed);
+  while (value > best && !g_explore_best.compare_exchange_weak(
+                             best, value, std::memory_order_relaxed)) {
+  }
+  registry.gauge("explore.best_value")
+      .set(g_explore_best.load(std::memory_order_relaxed));
+}
+
 /// One row per canonical schedule in the job's [begin, end) ordinal range.
 /// The walk order is fixed by the domain alone, so the rows — and therefore
 /// the merged CSV — are identical for any chunking, thread count, or resume
@@ -330,6 +352,7 @@ JobRows execute_explore(const Job& job) {
       [&](std::uint64_t ordinal, const explore::Schedule& schedule) {
         const swarm::SwarmResult result = run_explore_schedule(ctx, schedule);
         const double value = explore_value(ctx, result);
+        note_explore_schedule(schedule, value);
         std::size_t incomplete = 0;
         for (const double t : result.completion_time) {
           if (t < 0.0) ++incomplete;
@@ -375,6 +398,7 @@ struct ManifestData {
   bool header_ok = false;
   std::vector<bool> have;
   std::vector<JobRows> rows;
+  std::vector<double> ms;  // per-job wall time; -1 when the line had none
 };
 
 std::string header_line(const Plan& plan) {
@@ -399,9 +423,12 @@ std::string header_line(const Plan& plan) {
   return line;
 }
 
-std::string job_line(const Job& job, const JobRows& rows) {
+std::string job_line(const Job& job, const JobRows& rows, double wall_ms) {
+  // wall_ms is provenance (latency summaries), never identity: resume
+  // validation ignores it, and it feeds no fingerprint or merged cell.
   std::string line = "{\"job\":" + std::to_string(job.index) + ",\"fp\":\"" +
-                     hex16(job.fingerprint) + "\",\"rows\":[";
+                     hex16(job.fingerprint) + "\",\"ms\":" +
+                     util::exact_number(wall_ms) + ",\"rows\":[";
   for (std::size_t r = 0; r < rows.size(); ++r) {
     if (r > 0) line += ',';
     line += '[';
@@ -482,6 +509,12 @@ bool accept_job_line(const json::Value& value, const Plan& plan,
   }
   data.have[job] = true;
   data.rows[job] = std::move(parsed);
+  // Optional wall time (absent in pre-latency manifests; those resume fine).
+  if (const json::Value* ms = value.find("ms");
+      ms != nullptr && ms->type == json::Value::Type::kNumber &&
+      ms->number >= 0.0) {
+    data.ms[job] = ms->number;
+  }
   return true;
 }
 
@@ -490,6 +523,7 @@ ManifestData load_manifest(const Plan& plan,
   ManifestData data;
   data.have.assign(plan.jobs.size(), false);
   data.rows.resize(plan.jobs.size());
+  data.ms.assign(plan.jobs.size(), -1.0);
   std::ifstream in(path, std::ios::binary);
   if (!in) return data;
   std::ostringstream buffer;
@@ -523,6 +557,7 @@ ManifestData load_manifest(const Plan& plan,
     data.valid_bytes = 0;
     data.have.assign(plan.jobs.size(), false);
     for (JobRows& rows : data.rows) rows.clear();
+    data.ms.assign(plan.jobs.size(), -1.0);
   }
   return data;
 }
@@ -617,6 +652,23 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
     return report;
   }
 
+  // Heartbeat + time-series for `dsa_cli top`/`status`: one shard per job.
+  // A pure observer — no RNG, no locks shared with job execution — so the
+  // merged CSV stays byte-identical with DSA_STATUS on or off.
+  obs::TelemetryRun telemetry = obs::Telemetry::global().begin_run(
+      {.name = obs::sanitize_run_name(plan.spec.name),
+       .kind = to_string(plan.spec.kind),
+       .spec_fingerprint = plan.spec_fingerprint,
+       .jobs_total = plan.jobs.size(),
+       .output = plan.spec.output.string()});
+  telemetry.set_phase("resume-check");
+  {
+    std::vector<std::string> labels;
+    labels.reserve(plan.jobs.size());
+    for (const Job& job : plan.jobs) labels.push_back(job.label);
+    telemetry.init_shards(std::move(labels));
+  }
+
   // Resume state: trusted manifest lines become pre-completed jobs; the
   // first untrusted byte onward is truncated away so appends never chase a
   // torn tail.
@@ -636,9 +688,14 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
 
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
-    if (!manifest.have[i]) pending.push_back(i);
+    if (!manifest.have[i]) {
+      pending.push_back(i);
+    } else {
+      telemetry.set_shard_state(i, obs::ShardState::kResumed);
+    }
   }
   report.skipped = plan.jobs.size() - pending.size();
+  telemetry.update_done(report.skipped);
   if (report.skipped > 0) {
     if (options.verbose) {
       std::fprintf(stderr,
@@ -669,8 +726,10 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
   }
 
   std::vector<JobRows> results = std::move(manifest.rows);
+  std::vector<double> job_ms = std::move(manifest.ms);
   obs::ProgressMeter meter("scenario", report.total, options.verbose);
   if (report.skipped > 0) meter.update(report.skipped);
+  telemetry.set_phase("jobs");
 
   std::mutex sink_mutex;  // manifest stream + failure bookkeeping
   std::atomic<std::size_t> executed{0};
@@ -687,6 +746,13 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
           : (plan.spec.threads != 0 ? plan.spec.threads
                                     : util::ThreadPool::default_thread_count());
   util::ThreadPool pool(threads);
+  telemetry.watch_pool(&pool);
+  // Declared after the pool, so its destructor clears the queue-depth watch
+  // before the pool goes away on every exit path (including exceptions).
+  struct PoolWatchGuard {
+    obs::TelemetryRun& telemetry;
+    ~PoolWatchGuard() { telemetry.watch_pool(nullptr); }
+  } pool_watch{telemetry};
   pool.parallel_for(pending.size(), [&](std::size_t i) {
     const Job& job = plan.jobs[pending[i]];
     if (options.max_jobs > 0 &&
@@ -694,6 +760,7 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
       aborted.store(true, std::memory_order_relaxed);
       return;
     }
+    telemetry.set_shard_state(job.index, obs::ShardState::kRunning);
     const auto start = std::chrono::steady_clock::now();
     JobRows rows;
     bool ok = false;
@@ -705,6 +772,10 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
         break;
       } catch (const std::exception& error) {
         if (attempt == plan.spec.retries) {
+          telemetry.set_shard_state(job.index, obs::ShardState::kFailed);
+          telemetry.add_failed();
+          telemetry.set_last_error("job " + std::to_string(job.index) + " (" +
+                                   job.label + "): " + error.what());
           std::lock_guard lock(sink_mutex);
           ++failures;
           if (first_error.empty()) {
@@ -720,23 +791,26 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
       }
     }
     if (!ok) return;
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
     {
       std::lock_guard lock(sink_mutex);
-      out << job_line(job, rows) << '\n';
+      out << job_line(job, rows, wall_ms) << '\n';
       out.flush();
     }
     results[job.index] = std::move(rows);
+    job_ms[job.index] = wall_ms;
     executed.fetch_add(1, std::memory_order_relaxed);
     meter.update(done.fetch_add(1, std::memory_order_relaxed) + 1);
+    telemetry.set_shard_state(job.index, obs::ShardState::kDone);
+    telemetry.add_done();
     if (obs::enabled()) {
       obs::Registry::global().counter("scenario.jobs_executed").increment();
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
       obs::Registry::global()
           .histogram("scenario.job_ms",
                      {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0})
-          .observe(ms);
+          .observe(wall_ms);
     }
     obs::TraceSink::global().instant("scenario/job-done");
   });
@@ -746,6 +820,7 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
   report.executed = executed.load();
   report.retried = retried.load();
   if (aborted.load()) {
+    telemetry.set_last_error("aborted by max_jobs hook");
     throw RunAborted("scenario '" + plan.spec.name + "' aborted after " +
                      std::to_string(report.executed) +
                      " jobs (max_jobs hook); manifest retained");
@@ -758,6 +833,41 @@ RunReport run_scenario(const Plan& plan, const RunOptions& options) {
         first_error);
   }
 
+  // Per-job latency summary: jobs executed here plus resumed jobs whose
+  // manifest lines carried an "ms" field. Slowness is as much a signal as
+  // failure on long sweeps, so it gets the same end-of-run visibility.
+  {
+    std::vector<double> samples;
+    samples.reserve(job_ms.size());
+    std::size_t slowest = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < job_ms.size(); ++i) {
+      if (job_ms[i] < 0.0) continue;
+      samples.push_back(job_ms[i]);
+      if (!any || job_ms[i] > job_ms[slowest]) slowest = i;
+      any = true;
+    }
+    if (any) {
+      report.job_ms_p50 = stats::percentile(samples, 0.50);
+      report.job_ms_p90 = stats::percentile(samples, 0.90);
+      report.job_ms_p99 = stats::percentile(samples, 0.99);
+      report.slowest_job = static_cast<std::int64_t>(slowest);
+      report.slowest_label = plan.jobs[slowest].label;
+      report.slowest_ms = job_ms[slowest];
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "scenario '%s': job latency p50=%.1fms p90=%.1fms "
+                     "p99=%.1fms over %zu job(s); slowest job %zu (%s) at "
+                     "%.1fms\n",
+                     plan.spec.name.c_str(), report.job_ms_p50,
+                     report.job_ms_p90, report.job_ms_p99, samples.size(),
+                     slowest, report.slowest_label.c_str(),
+                     report.slowest_ms);
+      }
+    }
+  }
+
+  telemetry.set_phase("merge");
   {
     DSA_OBS_PHASE("scenario/merge");
     merge_and_save(plan, results);

@@ -48,6 +48,15 @@ struct RunReport {
   std::filesystem::path manifest;
   /// True when the output already existed and nothing ran.
   bool reused_output = false;
+  /// Per-job wall-time summary over every job with a recorded latency
+  /// (jobs executed here plus manifest-resumed jobs whose lines carried
+  /// an "ms" field). All zero / slowest_job == -1 when nothing recorded.
+  double job_ms_p50 = 0.0;
+  double job_ms_p90 = 0.0;
+  double job_ms_p99 = 0.0;
+  std::int64_t slowest_job = -1;  // plan index of the slowest job
+  std::string slowest_label;
+  double slowest_ms = 0.0;
 };
 
 /// Thrown when RunOptions::max_jobs aborts a run. The manifest keeps every

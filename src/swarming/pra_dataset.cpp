@@ -12,6 +12,7 @@
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "swarming/dsa_model.hpp"
 #include "util/env.hpp"
@@ -159,6 +160,19 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
                             ? util::ThreadPool::default_thread_count()
                             : options.pra.threads);
 
+  // Heartbeat + time-series for `dsa_cli top`/`status`. Declared after the
+  // pool (destroyed first, so the queue-depth watch can never dangle) and
+  // before the engine (whose progress callback references it). A pure
+  // observer: consumes no RNG, so the sweep's bytes are identical with
+  // DSA_STATUS on or off.
+  obs::TelemetryRun telemetry = obs::Telemetry::global().begin_run(
+      {.name = obs::sanitize_run_name(options.path.stem().string()),
+       .kind = "sweep",
+       .spec_fingerprint = options_fingerprint(options),
+       .jobs_total = kProtocolCount,
+       .output = options.path.string()});
+  telemetry.watch_pool(&pool);
+
   // Live progress + ETA over the whole 3270-protocol sweep. The engine's
   // per-chunk progress callback reports chunk-local completions; adding the
   // chunk base converts them to a global protocol count. Progress reads
@@ -167,8 +181,12 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
   obs::ProgressMeter meter("pra", kProtocolCount, verbose);
   std::atomic<std::size_t> chunk_base{0};
   core::PraConfig pra_config = options.pra;
-  pra_config.progress = [&meter, &chunk_base](std::size_t done, std::size_t) {
-    meter.update(chunk_base.load(std::memory_order_relaxed) + done);
+  pra_config.progress = [&meter, &chunk_base,
+                         &telemetry](std::size_t done, std::size_t) {
+    const std::size_t global =
+        chunk_base.load(std::memory_order_relaxed) + done;
+    meter.update(global);
+    telemetry.update_done(global);
   };
   core::PraEngine engine(model, pra_config, &pool);
 
@@ -179,6 +197,7 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
   std::vector<PraRecord> records(kProtocolCount);
   const std::filesystem::path checkpoint = pra_checkpoint_path(options);
   std::size_t first_missing = 0;
+  telemetry.set_phase("resume-check");
   if (options.checkpoint_interval > 0) {
     const std::vector<PraRecord> resumed = load_pra_checkpoint(checkpoint);
     for (const PraRecord& rec : resumed) records[rec.protocol] = rec;
@@ -195,17 +214,36 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
       }
       obs::TraceSink::global().instant("pra/checkpoint-resume");
       meter.update(first_missing);
+      telemetry.update_done(first_missing);
     }
   }
 
   const std::size_t chunk_size = options.checkpoint_interval > 0
                                      ? options.checkpoint_interval
                                      : kProtocolCount;
+  // One telemetry shard per checkpoint chunk, so `dsa_cli top` shows which
+  // slices of the protocol space are resumed/running/done.
+  {
+    std::vector<std::string> chunk_labels;
+    for (std::size_t begin = 0; begin < kProtocolCount; begin += chunk_size) {
+      const std::size_t end =
+          std::min<std::size_t>(begin + chunk_size, kProtocolCount);
+      chunk_labels.push_back("protocols-" + std::to_string(begin) + "-" +
+                             std::to_string(end));
+    }
+    telemetry.init_shards(std::move(chunk_labels));
+    for (std::size_t begin = 0; begin + chunk_size <= first_missing;
+         begin += chunk_size) {
+      telemetry.set_shard_state(begin / chunk_size, obs::ShardState::kResumed);
+    }
+  }
+  telemetry.set_phase("quantify");
   for (std::size_t begin = first_missing; begin < kProtocolCount;
        begin += chunk_size) {
     const std::size_t end = std::min<std::size_t>(begin + chunk_size,
                                                   kProtocolCount);
     chunk_base.store(begin, std::memory_order_relaxed);
+    telemetry.set_shard_state(begin / chunk_size, obs::ShardState::kRunning);
     // One flattened task grid per chunk: every simulation of every protocol
     // in [begin, end) schedules independently, so a slow protocol cannot
     // straggle the chunk the way the old per-protocol parallel_for could.
@@ -222,15 +260,20 @@ std::vector<PraRecord> compute_pra_dataset(const PraDatasetOptions& options,
     }
     if (options.checkpoint_interval > 0 && end < kProtocolCount) {
       DSA_OBS_PHASE("pra/checkpoint-save");
+      telemetry.set_phase("checkpoint-save");
       save_pra_checkpoint(records, end, checkpoint);
       if (obs::enabled()) {
         obs::Registry::global().counter("pra.checkpoint_saves").increment();
       }
       obs::TraceSink::global().instant("pra/checkpoint-save");
+      telemetry.set_phase("quantify");
     }
+    telemetry.set_shard_state(begin / chunk_size, obs::ShardState::kDone);
     meter.update(end);
+    telemetry.update_done(end);
   }
   meter.finish();
+  telemetry.set_phase("normalize");
 
   // Normalize performance against the global best only once every raw value
   // exists (a checkpoint prefix has no meaningful normalization).

@@ -1,0 +1,40 @@
+#include "util/proc_stat.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dsa::util {
+
+namespace {
+
+#if defined(__linux__)
+/// Parses the "<number> kB" payload of a /proc/self/status line.
+std::uint64_t parse_kb(const char* line) {
+  while (*line != '\0' && (*line < '0' || *line > '9')) ++line;
+  return static_cast<std::uint64_t>(std::strtoull(line, nullptr, 10));
+}
+#endif
+
+}  // namespace
+
+ProcStat read_proc_stat() noexcept {
+  ProcStat stat;
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return stat;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      stat.rss_kb = parse_kb(line + 6);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      stat.peak_rss_kb = parse_kb(line + 6);
+    }
+    if (stat.rss_kb != 0 && stat.peak_rss_kb != 0) break;
+  }
+  std::fclose(file);
+#endif
+  return stat;
+}
+
+}  // namespace dsa::util

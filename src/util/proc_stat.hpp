@@ -1,0 +1,25 @@
+// Process memory gauges for the observability layer: current and peak
+// resident set size, read from the OS on demand.
+//
+// On Linux the values come from /proc/self/status (VmRSS / VmHWM); on other
+// platforms, or when the pseudo-file is unreadable, every field is zero —
+// callers treat 0 as "unknown" and never fail on it. Reading is a handful of
+// line scans over a small kernel-generated buffer: cheap enough for a 1 Hz
+// telemetry sampler or a once-per-bench epilogue, and it touches no state of
+// the process being measured (no locks, no allocation visible to the sim).
+#pragma once
+
+#include <cstdint>
+
+namespace dsa::util {
+
+/// Point-in-time memory readings, in kilobytes. Zero means unknown.
+struct ProcStat {
+  std::uint64_t rss_kb = 0;       // current resident set size (VmRSS)
+  std::uint64_t peak_rss_kb = 0;  // peak resident set size (VmHWM)
+};
+
+/// Reads the current process's memory gauges. Never throws.
+[[nodiscard]] ProcStat read_proc_stat() noexcept;
+
+}  // namespace dsa::util

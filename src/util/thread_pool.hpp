@@ -69,6 +69,13 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Jobs submitted but not yet finished (queued + executing). Lock-free and
+  /// approximate by nature — meant for observers (telemetry queue-depth
+  /// gauges), not for synchronization; use wait_idle() for that.
+  [[nodiscard]] std::size_t pending_jobs() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /// Hardware concurrency with a floor of one.
   static std::size_t default_thread_count() noexcept {
     const unsigned n = std::thread::hardware_concurrency();
@@ -137,7 +144,9 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::queue<std::function<void()>> jobs_;
-  std::size_t pending_ = 0;
+  // Atomic so observers can read it without the mutex; all writes still
+  // happen under mutex_, preserving the idle_ wait/notify protocol.
+  std::atomic<std::size_t> pending_{0};
   bool stopping_ = false;
   std::exception_ptr first_error_;
   std::vector<std::thread> workers_;

@@ -14,11 +14,15 @@
 //   dsa_cli swarm --fault-file results/fault_explore.worst.json
 //   dsa_cli record --out r.jsonl --context demo swarm --runs 3
 //   dsa_cli report r.jsonl --table fig9
+//   DSA_STATUS=on dsa_cli run examples/scenarios/pra_sweep.json
+//   dsa_cli top results            (attach a live monitor, ctrl-c to detach)
+//   dsa_cli status results --json  (one-shot health report for scripts/CI)
 //   dsa_cli help run
 //
 // Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
 // space ids. Every command accepts --seed.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +30,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ess.hpp"
@@ -40,6 +45,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "report/report.hpp"
 #include "scenario/explore_kind.hpp"
@@ -52,6 +58,7 @@
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/fingerprint.hpp"
+#include "util/json.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -248,6 +255,30 @@ const util::HelpIndex& help_index() {
        "  all      every table that has matching events (default)\n\n"
        "The fig5/fig9 tables are byte-identical to what the corresponding\n"
        "benches print when both consume the same events.\n"},
+      {"status", "one-shot health report over heartbeat files",
+       "usage: dsa_cli status [<status-file|results-dir>] [--json]\n\n"
+       "Read the heartbeat files live runs maintain under DSA_STATUS=on\n"
+       "(default target: results/) and report each run's health:\n"
+       "  RUNNING  pid alive, heartbeat fresh\n"
+       "  STALLED  pid alive but no heartbeat for > 3 sampling intervals\n"
+       "  DEAD     heartbeat says running but the pid is gone (SIGKILL)\n"
+       "  DONE     finished cleanly          FAILED  finished with errors\n\n"
+       "--json emits one machine-readable status_report object (schema 1)\n"
+       "for scripts and CI. Exit status: 0 when every run is RUNNING or\n"
+       "DONE, 1 when any run is STALLED, DEAD, or FAILED (or no heartbeat\n"
+       "files were found), 2 on unreadable/malformed heartbeats.\n"},
+      {"top", "attachable live monitor for running experiments",
+       "usage: dsa_cli top [<status-file|results-dir>] [--interval-ms N]\n"
+       "                   [--frames N] [--once]\n\n"
+       "Attach a read-only terminal monitor to the heartbeat files of runs\n"
+       "started with DSA_STATUS=on (default target: results/). Each frame\n"
+       "shows per-run health, phase, progress bar, throughput, ETA, RSS,\n"
+       "pool queue depth, shard strip, and the last error, then redraws\n"
+       "every --interval-ms (default 1000). Purely an observer: it only\n"
+       "reads the heartbeat files and never touches the experiment.\n\n"
+       "Exits when every run reaches a terminal state (DONE/FAILED/DEAD),\n"
+       "after --frames N redraws, or immediately after one plain-text\n"
+       "frame with --once (no screen clearing; for logs and CI).\n"},
       {"help", "show per-command usage",
        "usage: dsa_cli help [command]\n\n"
        "Show the command list, or the detailed usage of one command.\n"},
@@ -546,6 +577,24 @@ int cmd_swarm(const util::CliArgs& args) {
       std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(
                                   fraction * 50.0)),
                               1, 49);
+  // Heartbeat for `dsa_cli top`: one shard-less run, one job per swarm run.
+  // The sampler never touches the simulation, so results are identical
+  // with DSA_STATUS on or off.
+  obs::TelemetryRun telemetry = obs::Telemetry::global().begin_run(
+      {.name = obs::sanitize_run_name("swarm_" + to_string(a) + "_vs_" +
+                                      to_string(b)),
+       .kind = "swarm",
+       .spec_fingerprint = util::Fingerprint(0x5357)
+                               .mix(to_string(a))
+                               .mix(to_string(b))
+                               .mix(count_a)
+                               .mix(runs)
+                               .mix(seed)
+                               .mix_double(fault)
+                               .value(),
+       .jobs_total = runs,
+       .output = ""});
+  telemetry.set_phase("simulate");
   std::vector<double> times_a, times_b;
   swarm::FaultStats totals;
   double recovery_sum = 0.0;
@@ -583,7 +632,9 @@ int cmd_swarm(const util::CliArgs& args) {
       recovery_sum += fs.mean_seeder_recovery_ticks;
       ++recovery_runs;
     }
+    telemetry.add_done();
   }
+  telemetry.finish(true);
   std::printf("%-18s %zu leechers, avg download %.1f s (+/- %.1f)\n",
               to_string(a).c_str(), count_a, stats::mean(times_a),
               stats::ci95_half_width(times_a));
@@ -1108,6 +1159,274 @@ int cmd_report(const util::CliArgs& args) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// `status` / `top`: read-only monitors over the heartbeat files live runs
+// maintain under DSA_STATUS=on (src/obs/telemetry.hpp). Both only read
+// those files — they never signal or otherwise touch the monitored
+// processes, so attaching a monitor cannot change any result.
+
+std::int64_t unix_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0.0) return "--";
+  const auto total = static_cast<unsigned long long>(seconds + 0.5);
+  char buf[32];
+  if (total < 60) {
+    std::snprintf(buf, sizeof(buf), "%llus", total);
+  } else if (total < 3600) {
+    std::snprintf(buf, sizeof(buf), "%llum%02llus", total / 60, total % 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluh%02llum", total / 3600,
+                  (total % 3600) / 60);
+  }
+  return buf;
+}
+
+std::string progress_bar(std::uint64_t done, std::uint64_t total,
+                         std::size_t width) {
+  if (total == 0) return std::string(width, '?');
+  const std::size_t filled = std::min(
+      width, static_cast<std::size_t>(
+                 (static_cast<double>(done) / static_cast<double>(total)) *
+                 static_cast<double>(width)));
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+char shard_strip_char(const std::string& state) {
+  if (state == "todo") return '.';
+  if (state == "running") return '>';
+  if (state == "done") return '#';
+  if (state == "failed") return 'x';
+  if (state == "resumed") return '=';
+  return '?';
+}
+
+bool terminal_health(obs::RunHealth health) {
+  return health == obs::RunHealth::kDone ||
+         health == obs::RunHealth::kFailed || health == obs::RunHealth::kDead;
+}
+
+int cmd_status(const util::CliArgs& args) {
+  std::string target = args.positional(0);
+  const bool json = args.has("json");
+  reject_unknown_flags(args);
+  if (target.empty()) target = "results";
+
+  const std::vector<std::filesystem::path> files =
+      obs::find_status_files(target);
+  const std::int64_t now = unix_now_ms();
+  bool parse_error = false;
+  std::vector<obs::StatusFile> statuses;
+  std::vector<obs::RunHealth> healths;
+  for (const std::filesystem::path& path : files) {
+    try {
+      obs::StatusFile status = obs::load_status_file(path);
+      healths.push_back(
+          obs::classify_status(status, now, obs::pid_alive(status.pid)));
+      statuses.push_back(std::move(status));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      parse_error = true;
+    }
+  }
+
+  if (json) {
+    std::string out = "{\"type\":\"status_report\",\"schema\":1";
+    out += ",\"target\":\"" + util::json::escape(target) + "\"";
+    out += ",\"generated_unix_ms\":" + std::to_string(now);
+    out += ",\"runs\":[";
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      const obs::StatusFile& s = statuses[i];
+      if (i != 0) out += ',';
+      out += "{\"name\":\"" + util::json::escape(s.name) + "\"";
+      out += ",\"kind\":\"" + util::json::escape(s.kind) + "\"";
+      out += ",\"health\":\"";
+      out += obs::to_string(healths[i]);
+      out += "\",\"state\":\"" + util::json::escape(s.state) + "\"";
+      out += ",\"phase\":\"" + util::json::escape(s.phase) + "\"";
+      out += ",\"pid\":" + std::to_string(s.pid);
+      out += ",\"seq\":" + std::to_string(s.seq);
+      out += ",\"jobs\":{\"done\":" + std::to_string(s.done);
+      out += ",\"total\":" + std::to_string(s.total);
+      out += ",\"failed\":" + std::to_string(s.failed) + "}";
+      out += ",\"rate_per_sec\":" + util::exact_number(s.rate_per_sec);
+      out += ",\"eta_sec\":" + util::exact_number(s.eta_sec);
+      out += ",\"rss_kb\":" + std::to_string(s.rss_kb);
+      out += ",\"peak_rss_kb\":" + std::to_string(s.peak_rss_kb);
+      out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+      out += ",\"uptime_sec\":" + util::exact_number(s.uptime_sec);
+      out += ",\"timestamp_unix_ms\":" + std::to_string(s.timestamp_unix_ms);
+      out += ",\"interval_ms\":" + std::to_string(s.interval_ms);
+      if (!s.spec_fp.empty()) {
+        out += ",\"spec_fp\":\"" + util::json::escape(s.spec_fp) + "\"";
+      }
+      if (!s.output.empty()) {
+        out += ",\"output\":\"" + util::json::escape(s.output) + "\"";
+      }
+      if (!s.last_error.empty()) {
+        out += ",\"last_error\":\"" + util::json::escape(s.last_error) + "\"";
+      }
+      out += ",\"path\":\"" + util::json::escape(s.path.string()) + "\"}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+  } else if (statuses.empty()) {
+    std::fprintf(stderr,
+                 "no *.status.json under %s (start a run with DSA_STATUS=on)\n",
+                 target.c_str());
+  } else {
+    util::TablePrinter table({"run", "kind", "health", "phase", "done",
+                              "total", "fail", "rate/s", "eta", "rss KB",
+                              "pid"});
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      const obs::StatusFile& s = statuses[i];
+      table.add_row({s.name, s.kind, obs::to_string(healths[i]), s.phase,
+                     std::to_string(s.done), std::to_string(s.total),
+                     std::to_string(s.failed), util::fixed(s.rate_per_sec, 2),
+                     format_duration(s.eta_sec), std::to_string(s.rss_kb),
+                     std::to_string(s.pid)});
+    }
+    table.print(std::cout);
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].last_error.empty()) {
+        std::printf("%s last error: %s\n", statuses[i].name.c_str(),
+                    statuses[i].last_error.c_str());
+      }
+    }
+  }
+
+  if (parse_error) return 2;
+  if (statuses.empty()) return 1;
+  for (const obs::RunHealth health : healths) {
+    if (health != obs::RunHealth::kRunning &&
+        health != obs::RunHealth::kDone) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Renders one run as a small block of lines into `out`.
+void render_top_run(const obs::StatusFile& s, obs::RunHealth health,
+                    std::int64_t now, std::string* out) {
+  char line[512];
+  const double beat_age =
+      static_cast<double>(now - s.timestamp_unix_ms) / 1000.0;
+  std::snprintf(line, sizeof(line),
+                "%s  [%s]  %s  phase %s  pid %lld  up %s  beat %.1fs ago\n",
+                s.name.c_str(), s.kind.c_str(), obs::to_string(health),
+                s.phase.empty() ? "-" : s.phase.c_str(),
+                static_cast<long long>(s.pid),
+                format_duration(s.uptime_sec).c_str(), beat_age);
+  *out += line;
+  const double pct =
+      s.total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(s.done) /
+                         static_cast<double>(s.total);
+  std::snprintf(line, sizeof(line),
+                "  [%s] %5.1f%%  %llu/%llu jobs (%llu failed)  %.2f/s  "
+                "eta %s\n",
+                progress_bar(s.done, s.total, 30).c_str(), pct,
+                static_cast<unsigned long long>(s.done),
+                static_cast<unsigned long long>(s.total),
+                static_cast<unsigned long long>(s.failed), s.rate_per_sec,
+                format_duration(s.eta_sec).c_str());
+  *out += line;
+  std::snprintf(line, sizeof(line),
+                "  rss %llu KB (peak %llu)  queue %llu\n",
+                static_cast<unsigned long long>(s.rss_kb),
+                static_cast<unsigned long long>(s.peak_rss_kb),
+                static_cast<unsigned long long>(s.queue_depth));
+  *out += line;
+  if (!s.shards.empty()) {
+    std::string strip;
+    strip.reserve(s.shards.size());
+    for (const auto& [id, state] : s.shards) {
+      (void)id;
+      strip.push_back(shard_strip_char(state));
+    }
+    *out += "  shards: " + strip + "\n";
+  } else if (!s.shard_counts.empty()) {
+    *out += "  shards:";
+    for (const auto& [state, count] : s.shard_counts) {
+      std::snprintf(line, sizeof(line), " %llu %s",
+                    static_cast<unsigned long long>(count), state.c_str());
+      *out += line;
+    }
+    *out += "\n";
+  }
+  if (!s.last_error.empty()) {
+    *out += "  last error: " + s.last_error + "\n";
+  }
+}
+
+int cmd_top(const util::CliArgs& args) {
+  std::string target = args.positional(0);
+  const auto interval_ms =
+      static_cast<std::int64_t>(args.get_int("interval-ms", 1000));
+  const auto frame_limit =
+      static_cast<std::int64_t>(args.get_int("frames", 0));
+  const bool once = args.has("once");
+  reject_unknown_flags(args);
+  if (target.empty()) target = "results";
+  if (interval_ms < 50) usage("--interval-ms must be >= 50");
+  if (frame_limit < 0) usage("--frames must be >= 0");
+
+  bool rendered_any = false;
+  for (std::int64_t frame = 0;; ++frame) {
+    const std::vector<std::filesystem::path> files =
+        obs::find_status_files(target);
+    const std::int64_t now = unix_now_ms();
+    std::string screen;
+    bool all_terminal = !files.empty();
+    std::size_t shown = 0;
+    for (const std::filesystem::path& path : files) {
+      obs::StatusFile status;
+      try {
+        status = obs::load_status_file(path);
+      } catch (const std::exception&) {
+        // A heartbeat can be torn mid-write by a dying process; skip it
+        // this frame and try again on the next one.
+        all_terminal = false;
+        continue;
+      }
+      const obs::RunHealth health =
+          obs::classify_status(status, now, obs::pid_alive(status.pid));
+      if (!terminal_health(health)) all_terminal = false;
+      if (shown != 0) screen += "\n";
+      render_top_run(status, health, now, &screen);
+      ++shown;
+    }
+    if (shown == 0) {
+      screen = "waiting for *.status.json under " + target +
+               " (start a run with DSA_STATUS=on)\n";
+    } else {
+      rendered_any = true;
+    }
+    if (once) {
+      std::fputs(screen.c_str(), stdout);
+      return rendered_any ? 0 : 1;
+    }
+    // Home + clear-to-end redraw keeps the frame flicker-free on any TTY.
+    std::printf("\x1b[H\x1b[J%s\n(dsa_cli top: %s, every %lldms; ctrl-c to "
+                "detach)\n",
+                screen.c_str(), target.c_str(),
+                static_cast<long long>(interval_ms));
+    std::fflush(stdout);
+    if (all_terminal && shown != 0) return 0;
+    if (frame_limit > 0 && frame + 1 >= frame_limit) {
+      return rendered_any ? 0 : 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 int cmd_version() {
   const char* sanitize = DSA_BUILD_SANITIZE;
   std::printf("dsa_cli - design space analysis for distributed incentives\n");
@@ -1119,6 +1438,11 @@ int cmd_version() {
   std::printf("  observability:   %s\n",
               DSA_OBS_COMPILED_IN != 0 ? "compiled in (DSA_TRACE=ON)"
                                        : "compiled out (DSA_TRACE=OFF)");
+  std::printf("  live telemetry:  DSA_STATUS=on enables heartbeat + "
+              "time-series sampling\n"
+              "                   (DSA_STATUS_INTERVAL_MS, DSA_STATUS_DIR; "
+              "metric feeds %s)\n",
+              DSA_OBS_COMPILED_IN != 0 ? "compiled in" : "compiled out");
   std::printf(
       "  engine default:  sparse (DSA_ENGINE or --engine: "
       "sparse|dense|batch)\n");
@@ -1159,6 +1483,8 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "run") return cmd_run(args);
   if (command == "explore") return cmd_explore(args);
   if (command == "report") return cmd_report(args);
+  if (command == "status") return cmd_status(args);
+  if (command == "top") return cmd_top(args);
   if (command == "help") return cmd_help(args);
   if (command == "version") return cmd_version();
   usage(command.empty() ? "missing command"
@@ -1173,6 +1499,10 @@ int main(int argc, char** argv) {
     // command; `dsa_cli record` layers its flags on top and saves the file.
     obs::Recorder::global().configure(
         obs::RecorderOptions::from_environment());
+    // DSA_STATUS=on starts the live-telemetry sampler for any command;
+    // strict parsing means a misspelled value aborts with a named error.
+    obs::Telemetry::global().configure(
+        obs::TelemetryOptions::from_environment());
     if (argc >= 2 && std::string(argv[1]) == "record") {
       return cmd_record(argc - 2, argv + 2);
     }
