@@ -1,0 +1,184 @@
+// Load harness for the resident query daemon (src/serve): an in-process
+// Server on a scratch unix socket answers a mix of distinct sweep queries
+// cold (every job computed), then the same mix warm (every job a cache
+// hit) from N concurrent client connections. Reports cold and warm QPS,
+// their ratio, and the daemon's own hit counters, and verifies that every
+// warm answer is byte-identical to its cold computation — the cache must
+// never trade correctness for speed.
+//
+// The BENCH_serve.json wall-time distribution samples per-warm-query
+// latency, so tools/bench_compare gates the hot path a resident daemon
+// exists for: answering a repeated design-space question from memory.
+//
+// Knobs:
+//   DSA_BENCH_CONNECTIONS  concurrent warm-phase clients (default 4)
+//   DSA_BENCH_QUERIES      distinct specs in the mix (default 8)
+//   DSA_BENCH_REPEATS      warm repetitions of the mix per client (default 25)
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace dsa;
+
+// One spec per index: the same tiny sweep over four named protocols, but a
+// distinct seed, so every spec expands to distinct job fingerprints and the
+// cold pass cannot accidentally hit another spec's cache entries.
+std::string spec_text(const std::filesystem::path& dir, std::size_t index) {
+  std::string text = "{\"scenario\":\"bench-serve-";
+  text += std::to_string(index);
+  text += "\",\"kind\":\"sweep\",\"output\":\"";
+  text += (dir / ("bench_serve_" + std::to_string(index) + ".csv")).string();
+  text += "\",\"chunk\":2,\"params\":{\"protocols\":\"bt,birds,loyal,sorts\","
+          "\"rounds\":40,\"population\":20,\"performance_runs\":1,"
+          "\"encounter_runs\":1,\"opponent_sample\":4,"
+          "\"minority_fraction\":0.1,\"seed\":";
+  text += std::to_string(1000 + index);
+  text += ",\"engine\":\"sparse\"}}";
+  return text;
+}
+
+}  // namespace
+
+int main() {
+  bench::MetricsScope metrics_scope("serve");
+
+  const auto connections = static_cast<std::size_t>(
+      util::env_int("DSA_BENCH_CONNECTIONS", 4));
+  const auto queries =
+      static_cast<std::size_t>(util::env_int("DSA_BENCH_QUERIES", 8));
+  const auto repeats =
+      static_cast<std::size_t>(util::env_int("DSA_BENCH_REPEATS", 25));
+
+  bench::banner("BENCH serve (design-space-as-a-service)",
+                "engineering target (ROADMAP): a resident daemon answers a "
+                "repeated design-space query from its content-addressed "
+                "cache byte-identically and an order of magnitude faster "
+                "than recomputing it");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("bench_serve_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  serve::ServerOptions options;
+  options.socket_path = dir / "serve.sock";
+  options.cache.store_path = dir / "serve.cache.jsonl";
+  options.verbose = false;
+
+  serve::Server server(options);
+  std::atomic<bool> stop{false};
+  std::thread daemon([&] { server.serve(stop); });
+
+  std::printf("connections: %zu   distinct specs: %zu   warm repeats: %zu\n\n",
+              connections, queries, repeats);
+
+  // Cold pass: one connection, every spec computed for the first time.
+  std::vector<std::string> cold_bodies(queries);
+  const auto cold_start = std::chrono::steady_clock::now();
+  {
+    serve::Client client(options.socket_path);
+    for (std::size_t i = 0; i < queries; ++i) {
+      cold_bodies[i] = client.query(spec_text(dir, i)).body;
+    }
+  }
+  const double cold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cold_start)
+          .count();
+  const double cold_qps =
+      cold_seconds > 0.0 ? static_cast<double>(queries) / cold_seconds : 0.0;
+  std::printf("cold:  %zu queries  %8.3f s  %10.1f q/s\n", queries,
+              cold_seconds, cold_qps);
+
+  // Warm pass: every client replays the full mix; every job is a cache hit.
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::vector<double>> per_client_ms(connections);
+  const auto warm_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        serve::Client client(options.socket_path);
+        per_client_ms[c].reserve(repeats * queries);
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+          for (std::size_t i = 0; i < queries; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            const serve::Response response = client.query(spec_text(dir, i));
+            per_client_ms[c].push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            if (response.body != cold_bodies[i]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  const double warm_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    warm_start)
+          .count();
+  const std::size_t warm_queries = connections * repeats * queries;
+  const double warm_qps =
+      warm_seconds > 0.0 ? static_cast<double>(warm_queries) / warm_seconds
+                         : 0.0;
+  std::printf("warm:  %zu queries  %8.3f s  %10.1f q/s\n", warm_queries,
+              warm_seconds, warm_qps);
+
+  const std::map<std::string, std::uint64_t> counters = server.counters();
+  stop.store(true);
+  daemon.join();
+
+  const std::uint64_t hits = counters.at("cache_hits");
+  const std::uint64_t misses = counters.at("cache_misses");
+  const double hit_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  const double speedup = cold_qps > 0.0 ? warm_qps / cold_qps : 0.0;
+  const bool identical = mismatches.load() == 0;
+
+  std::printf("\nwarm vs cold: %.1fx   cache hit ratio: %.4f "
+              "(%llu hits / %llu misses)\n",
+              speedup, hit_ratio, static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  std::printf("warm answers byte-identical to cold: %s\n",
+              identical ? "yes" : "NO");
+  bench::verdict(identical && speedup >= 10.0,
+                 "every warm answer byte-identical to its cold computation "
+                 "and warm QPS >= 10x cold QPS");
+
+  for (const std::vector<double>& samples : per_client_ms) {
+    for (const double ms : samples) metrics_scope.add_wall_ms(ms);
+  }
+  metrics_scope.knob("connections", connections);
+  metrics_scope.knob("distinct_specs", queries);
+  metrics_scope.knob("warm_repeats", repeats);
+  metrics_scope.knob("cold_qps", cold_qps);
+  metrics_scope.knob("warm_qps", warm_qps);
+  metrics_scope.knob("warm_vs_cold", speedup);
+  metrics_scope.knob("hit_ratio", hit_ratio);
+  metrics_scope.knob("identical", identical ? std::string("true")
+                                            : std::string("false"));
+
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+  bench::save_recording_if_requested();
+  return identical && speedup >= 10.0 ? 0 : 1;
+}

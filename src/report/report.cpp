@@ -17,6 +17,16 @@
 
 namespace dsa::report {
 
+std::string render_csv_table(const util::CsvTable& table) {
+  util::TablePrinter printer(table.header());
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    printer.add_row(table.row(i));
+  }
+  std::ostringstream out;
+  printer.print(out);
+  return out.str();
+}
+
 namespace {
 
 std::uint64_t parse_run_key(const util::json::Value& value,

@@ -27,8 +27,17 @@
 
 #include "obs/recorder.hpp"
 #include "swarming/pra_dataset.hpp"
+#include "util/csv.hpp"
 
 namespace dsa::report {
+
+// ----------------------------------------------------- scenario results
+
+/// Renders a merged scenario result as an aligned text table (header,
+/// separator, rows) — the `dsa_cli query --table` view of a serve answer.
+/// Pure function of the table's cells, so it is as deterministic as the
+/// CSV it mirrors.
+std::string render_csv_table(const util::CsvTable& table);
 
 /// A parsed recording file: the header's capture settings plus the events
 /// in file order (which save() wrote canonically sorted).

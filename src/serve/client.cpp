@@ -1,0 +1,72 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+namespace dsa::serve {
+
+Client::Client(const std::filesystem::path& socket_path)
+    : socket_(util::connect_unix(socket_path)) {}
+
+Response Client::transact(const std::string& request_line) {
+  socket_.send_line(request_line);
+  const std::optional<std::string> line = socket_.recv_line();
+  if (!line) {
+    throw std::runtime_error("serve daemon closed the connection");
+  }
+  Response response = parse_response(*line);
+  if (response.type == "error") {
+    throw std::runtime_error("serve daemon: " + response.message);
+  }
+  return response;
+}
+
+void Client::ping() {
+  const Response response = transact(make_ping_request());
+  if (response.type != "pong") {
+    throw std::runtime_error("unexpected reply to ping: " + response.type);
+  }
+}
+
+std::map<std::string, std::uint64_t> Client::status() {
+  Response response = transact(make_status_request());
+  if (response.type != "status") {
+    throw std::runtime_error("unexpected reply to status: " + response.type);
+  }
+  return std::move(response.counters);
+}
+
+Response Client::query(
+    const std::string& spec_text, const std::string& want,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        on_progress) {
+  socket_.send_line(make_query_request(spec_text, want));
+  for (;;) {
+    const std::optional<std::string> line = socket_.recv_line();
+    if (!line) {
+      throw std::runtime_error(
+          "serve daemon closed the connection mid-query");
+    }
+    Response response = parse_response(*line);
+    if (response.type == "progress") {
+      if (on_progress) {
+        on_progress(response.done, response.total, response.cached);
+      }
+      continue;
+    }
+    if (response.type == "error") {
+      throw std::runtime_error("serve daemon: " + response.message);
+    }
+    if (response.type == "result") return response;
+    throw std::runtime_error("unexpected reply to query: " + response.type);
+  }
+}
+
+void Client::shutdown() {
+  const Response response = transact(make_shutdown_request());
+  if (response.type != "bye") {
+    throw std::runtime_error("unexpected reply to shutdown: " +
+                             response.type);
+  }
+}
+
+}  // namespace dsa::serve

@@ -1,0 +1,148 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "util/fingerprint.hpp"
+#include "util/json.hpp"
+
+namespace dsa::serve {
+
+namespace json = util::json;
+
+namespace {
+
+constexpr std::string_view kOrigin = "<serve-protocol>";
+
+std::uint64_t as_count(const json::Cursor& cursor) {
+  const std::int64_t value = cursor.as_int();
+  if (value < 0) cursor.fail("expected a non-negative count");
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const json::Value root = json::parse(line, kOrigin);
+  const json::Cursor cursor(root, std::string(kOrigin));
+  cursor.allow_only({"op", "spec", "want"});
+  const std::string op = cursor.key("op").as_string();
+  Request request;
+  if (op == "ping") {
+    request.op = Request::Op::kPing;
+  } else if (op == "status") {
+    request.op = Request::Op::kStatus;
+  } else if (op == "shutdown") {
+    request.op = Request::Op::kShutdown;
+  } else if (op == "query") {
+    request.op = Request::Op::kQuery;
+    request.spec_text = cursor.key("spec").as_string();
+    if (const std::optional<json::Cursor> want = cursor.try_key("want")) {
+      request.want = want->as_string();
+      if (request.want != "csv" && request.want != "table") {
+        want->fail("expected \"csv\" or \"table\"");
+      }
+    }
+    return request;
+  } else {
+    cursor.key("op").fail(
+        "expected \"ping\", \"status\", \"query\", or \"shutdown\"");
+  }
+  if (cursor.has("spec") || cursor.has("want")) {
+    cursor.fail("\"spec\"/\"want\" are only valid with op \"query\"");
+  }
+  return request;
+}
+
+std::string make_ping_request() { return "{\"op\":\"ping\"}"; }
+
+std::string make_status_request() { return "{\"op\":\"status\"}"; }
+
+std::string make_shutdown_request() { return "{\"op\":\"shutdown\"}"; }
+
+std::string make_query_request(const std::string& spec_text,
+                               const std::string& want) {
+  return "{\"op\":\"query\",\"spec\":\"" + json::escape(spec_text) +
+         "\",\"want\":\"" + json::escape(want) + "\"}";
+}
+
+Response parse_response(const std::string& line) {
+  const json::Value root = json::parse(line, kOrigin);
+  const json::Cursor cursor(root, std::string(kOrigin));
+  Response response;
+  response.type = cursor.key("type").as_string();
+  if (response.type == "pong" || response.type == "bye") {
+    cursor.allow_only({"type"});
+  } else if (response.type == "error") {
+    cursor.allow_only({"type", "message"});
+    response.message = cursor.key("message").as_string();
+  } else if (response.type == "progress") {
+    cursor.allow_only({"type", "done", "total", "cached"});
+    response.done = as_count(cursor.key("done"));
+    response.total = as_count(cursor.key("total"));
+    response.cached = as_count(cursor.key("cached"));
+  } else if (response.type == "status") {
+    cursor.allow_only({"type", "counters"});
+    const json::Cursor counters = cursor.key("counters");
+    for (const auto& [name, value] : counters.value().members) {
+      response.counters[name] = as_count(counters.key(name));
+    }
+  } else if (response.type == "result") {
+    cursor.allow_only({"type", "scenario", "kind", "want", "jobs",
+                       "cached_jobs", "executed_jobs", "ms", "body"});
+    response.scenario = cursor.key("scenario").as_string();
+    response.kind = cursor.key("kind").as_string();
+    response.want = cursor.key("want").as_string();
+    response.jobs = as_count(cursor.key("jobs"));
+    response.cached_jobs = as_count(cursor.key("cached_jobs"));
+    response.executed_jobs = as_count(cursor.key("executed_jobs"));
+    response.ms = cursor.key("ms").as_double();
+    response.body = cursor.key("body").as_string();
+  } else {
+    cursor.key("type").fail(
+        "expected \"pong\", \"status\", \"progress\", \"result\", "
+        "\"error\", or \"bye\"");
+  }
+  return response;
+}
+
+std::string make_pong() { return "{\"type\":\"pong\"}"; }
+
+std::string make_bye() { return "{\"type\":\"bye\"}"; }
+
+std::string make_error(const std::string& message) {
+  return "{\"type\":\"error\",\"message\":\"" + json::escape(message) + "\"}";
+}
+
+std::string make_progress(std::uint64_t done, std::uint64_t total,
+                          std::uint64_t cached) {
+  return "{\"type\":\"progress\",\"done\":" + std::to_string(done) +
+         ",\"total\":" + std::to_string(total) +
+         ",\"cached\":" + std::to_string(cached) + "}";
+}
+
+std::string make_status_response(
+    const std::map<std::string, std::uint64_t>& counters) {
+  std::string line = "{\"type\":\"status\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json::escape(name) + "\":" + std::to_string(value);
+  }
+  line += "}}";
+  return line;
+}
+
+std::string make_result(const Response& result) {
+  return "{\"type\":\"result\",\"scenario\":\"" +
+         json::escape(result.scenario) + "\",\"kind\":\"" +
+         json::escape(result.kind) + "\",\"want\":\"" +
+         json::escape(result.want) +
+         "\",\"jobs\":" + std::to_string(result.jobs) +
+         ",\"cached_jobs\":" + std::to_string(result.cached_jobs) +
+         ",\"executed_jobs\":" + std::to_string(result.executed_jobs) +
+         ",\"ms\":" + util::exact_number(result.ms) + ",\"body\":\"" +
+         json::escape(result.body) + "\"}";
+}
+
+}  // namespace dsa::serve

@@ -1,0 +1,85 @@
+// The serve wire protocol: newline-delimited JSON over a unix socket, one
+// document per line (util::socket framing).
+//
+// Requests (client → daemon):
+//   {"op":"ping"}
+//   {"op":"status"}
+//   {"op":"query","spec":"<scenario spec JSON, as text>","want":"csv"|"table"}
+//   {"op":"shutdown"}
+//
+// Responses (daemon → client):
+//   {"type":"pong"}
+//   {"type":"status","counters":{"queries":N,"cache_hits":N,...}}
+//   {"type":"progress","done":N,"total":N,"cached":N}   (streamed per query)
+//   {"type":"result","scenario":...,"kind":...,"want":...,"jobs":N,
+//    "cached_jobs":N,"executed_jobs":N,"ms":X,"body":"<csv or table text>"}
+//   {"type":"error","message":"..."}
+//   {"type":"bye"}
+//
+// Parsing is strict in the scenario-spec style: unknown keys, missing
+// fields, and wrong types raise util::json::SchemaError naming the
+// offending "$.key" path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dsa::serve {
+
+struct Request {
+  enum class Op : std::uint8_t { kPing, kStatus, kQuery, kShutdown };
+  Op op = Op::kPing;
+  std::string spec_text;     // kQuery: the scenario spec document, verbatim
+  std::string want = "csv";  // kQuery: "csv" | "table"
+};
+
+/// Parses one request line. Throws util::json::ParseError on malformed
+/// JSON and util::json::SchemaError (field-named) on schema violations.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Request builders (client side).
+[[nodiscard]] std::string make_ping_request();
+[[nodiscard]] std::string make_status_request();
+[[nodiscard]] std::string make_query_request(const std::string& spec_text,
+                                             const std::string& want);
+[[nodiscard]] std::string make_shutdown_request();
+
+/// One parsed response line; fields outside the line's type keep their
+/// zero/empty defaults.
+struct Response {
+  std::string type;  // "pong"|"status"|"progress"|"result"|"error"|"bye"
+  // progress
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  std::uint64_t cached = 0;
+  // result
+  std::string scenario;
+  std::string kind;
+  std::string want;
+  std::string body;
+  std::uint64_t jobs = 0;
+  std::uint64_t cached_jobs = 0;
+  std::uint64_t executed_jobs = 0;
+  double ms = 0.0;
+  // status
+  std::map<std::string, std::uint64_t> counters;
+  // error
+  std::string message;
+};
+
+/// Parses one response line; same strictness as parse_request.
+[[nodiscard]] Response parse_response(const std::string& line);
+
+/// Response builders (daemon side).
+[[nodiscard]] std::string make_pong();
+[[nodiscard]] std::string make_bye();
+[[nodiscard]] std::string make_error(const std::string& message);
+[[nodiscard]] std::string make_progress(std::uint64_t done,
+                                        std::uint64_t total,
+                                        std::uint64_t cached);
+[[nodiscard]] std::string make_status_response(
+    const std::map<std::string, std::uint64_t>& counters);
+[[nodiscard]] std::string make_result(const Response& result);
+
+}  // namespace dsa::serve

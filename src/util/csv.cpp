@@ -66,10 +66,7 @@ double CsvTable::number_at(std::size_t row, const std::string& col) const {
   }
 }
 
-void CsvTable::save(const std::filesystem::path& path) const {
-  // Rendered in memory and handed to atomic_write (write `<path>.tmp`,
-  // rename) so readers and checkpoint resumers never observe a
-  // half-written table.
+std::string CsvTable::to_csv() const {
   std::string text;
   auto write_row = [&text](const std::vector<std::string>& fields) {
     for (std::size_t i = 0; i < fields.size(); ++i) {
@@ -80,7 +77,14 @@ void CsvTable::save(const std::filesystem::path& path) const {
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
-  atomic_write(path, text);
+  return text;
+}
+
+void CsvTable::save(const std::filesystem::path& path) const {
+  // Rendered in memory and handed to atomic_write (write `<path>.tmp`,
+  // rename) so readers and checkpoint resumers never observe a
+  // half-written table.
+  atomic_write(path, to_csv());
 }
 
 CsvTable CsvTable::load(const std::filesystem::path& path) {

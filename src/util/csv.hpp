@@ -46,6 +46,11 @@ class CsvTable {
   /// Throws on I/O error (the temporary is removed on failure).
   void save(const std::filesystem::path& path) const;
 
+  /// The exact bytes save() writes: header + rows, comma-joined,
+  /// newline-terminated. In-memory consumers (the serve daemon's query
+  /// responses) stay byte-identical to the on-disk artifact through this.
+  [[nodiscard]] std::string to_csv() const;
+
   /// Parses a file previously written by save(). Throws on I/O or format
   /// error.
   static CsvTable load(const std::filesystem::path& path);

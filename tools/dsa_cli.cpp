@@ -17,15 +17,20 @@
 //   DSA_STATUS=on dsa_cli run examples/scenarios/pra_sweep.json
 //   dsa_cli top results            (attach a live monitor, ctrl-c to detach)
 //   dsa_cli status results --json  (one-shot health report for scripts/CI)
+//   dsa_cli serve --socket results/serve.sock   (resident query daemon)
+//   dsa_cli query examples/scenarios/pra_sweep.json --table
 //   dsa_cli help run
 //
 // Protocols are named (bt, birds, loyal, sorts, random) or numeric design-
 // space ids. Every command accepts --seed.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
@@ -50,6 +55,8 @@
 #include "report/report.hpp"
 #include "scenario/explore_kind.hpp"
 #include "scenario/runner.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "stats/descriptive.hpp"
 #include "swarm/swarm_sim.hpp"
 #include "swarming/dsa_model.hpp"
@@ -58,6 +65,7 @@
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/fingerprint.hpp"
+#include "util/fs.hpp"
 #include "util/json.hpp"
 #include "util/table_printer.hpp"
 #include "util/thread_pool.hpp"
@@ -255,6 +263,49 @@ const util::HelpIndex& help_index() {
        "  all      every table that has matching events (default)\n\n"
        "The fig5/fig9 tables are byte-identical to what the corresponding\n"
        "benches print when both consume the same events.\n"},
+      {"serve", "resident query daemon with a result cache",
+       "usage: dsa_cli serve [--socket PATH] [--threads N] [--cache-mb N]\n"
+       "                     [--store FILE] [--quiet]\n\n"
+       "Run a long-lived design-space query daemon: the protocol dataset\n"
+       "and simulators stay resident, and scenario queries arriving over a\n"
+       "unix domain socket (newline-delimited JSON, see src/serve) are\n"
+       "answered from a content-addressed result cache keyed by per-job\n"
+       "fingerprints. A repeated query is served from memory byte-identical\n"
+       "to a fresh computation at any thread count or engine; cache misses\n"
+       "run on a shared thread pool with per-job progress streamed to the\n"
+       "client. Completed jobs append to an on-disk JSONL store that\n"
+       "pre-warms the cache on restart, so even a SIGKILLed daemon keeps\n"
+       "its answers. The daemon heartbeats through the live-telemetry\n"
+       "sampler, so `dsa_cli top` and `dsa_cli status` can watch it.\n"
+       "Stop it with ctrl-c / SIGTERM or `dsa_cli query --shutdown`.\n\n"
+       "flags:\n"
+       "  --socket PATH  listening socket (default results/serve.sock);\n"
+       "                 fails when another daemon already listens there\n"
+       "  --threads N    worker threads (default DSA_THREADS, 0 = auto)\n"
+       "  --cache-mb N   in-memory cache budget before LRU eviction\n"
+       "                 (default 64)\n"
+       "  --store FILE   on-disk cache store (default: the socket path\n"
+       "                 with extension .cache.jsonl)\n"
+       "  --quiet        suppress the startup banner and per-query notes\n"},
+      {"query", "ask a running serve daemon for a scenario result",
+       "usage: dsa_cli query <spec.json> [--socket PATH] [--table]\n"
+       "                     [--out FILE] [--quiet]\n"
+       "       dsa_cli query --ping|--status|--shutdown [--socket PATH]\n\n"
+       "Submit a scenario spec to a `dsa_cli serve` daemon and print the\n"
+       "merged result. Progress streams to stderr while jobs run; the\n"
+       "answer lands on stdout (or --out FILE) as the exact CSV bytes\n"
+       "`dsa_cli run` would have written, regardless of how much of it\n"
+       "came from the daemon's cache.\n\n"
+       "flags:\n"
+       "  --socket PATH  daemon socket (default results/serve.sock)\n"
+       "  --table        render an aligned text table instead of CSV\n"
+       "  --out FILE     write the result atomically to FILE instead of\n"
+       "                 stdout\n"
+       "  --quiet        suppress the progress meter and summary\n"
+       "  --ping         health-check the daemon and exit\n"
+       "  --status       print the daemon's query/cache counters\n"
+       "                 (--json for one machine-readable object)\n"
+       "  --shutdown     ask the daemon to exit after in-flight queries\n"},
       {"status", "one-shot health report over heartbeat files",
        "usage: dsa_cli status [<status-file|results-dir>] [--json]\n\n"
        "Read the heartbeat files live runs maintain under DSA_STATUS=on\n"
@@ -1160,6 +1211,182 @@ int cmd_report(const util::CliArgs& args) {
 }
 
 // ---------------------------------------------------------------------------
+// `serve` / `query`: the resident query daemon (src/serve) and its client.
+
+// SIGINT/SIGTERM flip this flag; the accept loop polls it so a ctrl-c
+// drains in-flight queries instead of dropping them mid-merge.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const util::CliArgs& args) {
+  serve::ServerOptions options;
+  options.socket_path = args.get("socket", "results/serve.sock");
+  options.threads = static_cast<std::size_t>(
+      args.get_int("threads", util::env_int("DSA_THREADS", 0)));
+  const int cache_mb = args.get_int("cache-mb", 64);
+  const std::string store = args.get("store", "");
+  options.verbose = !args.has("quiet");
+  reject_unknown_flags(args);
+  if (cache_mb < 1) usage("--cache-mb must be >= 1");
+  options.cache.memory_budget_bytes =
+      static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  if (store.empty()) {
+    options.cache.store_path = options.socket_path;
+    options.cache.store_path.replace_extension(".cache.jsonl");
+  } else {
+    options.cache.store_path = store;
+  }
+
+  // A daemon should be watchable without the operator remembering
+  // DSA_STATUS=on: force the heartbeat sampler on (keeping any interval /
+  // directory overrides from the environment) before the run registers.
+  obs::TelemetryOptions telemetry = obs::Telemetry::global().options();
+  if (!telemetry.enabled) {
+    telemetry.enabled = true;
+    obs::Telemetry::global().configure(telemetry);
+  }
+
+  try {
+    serve::Server server(options);
+    if (options.verbose) {
+      const std::map<std::string, std::uint64_t> counters = server.counters();
+      std::printf("serve: listening on %s (%d MB cache, store %s)\n",
+                  options.socket_path.string().c_str(), cache_mb,
+                  options.cache.store_path.string().c_str());
+      std::printf(
+          "serve: %llu cached job(s) pre-warmed from the store"
+          " (%llu rejected)\n",
+          static_cast<unsigned long long>(counters.at("store_loaded")),
+          static_cast<unsigned long long>(counters.at("store_rejected")));
+      std::printf("serve: query with `dsa_cli query <spec.json> --socket "
+                  "%s`; ctrl-c to stop\n",
+                  options.socket_path.string().c_str());
+      std::fflush(stdout);
+    }
+    g_serve_stop.store(false);
+    std::signal(SIGINT, serve_stop_handler);
+    std::signal(SIGTERM, serve_stop_handler);
+    server.serve(g_serve_stop);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    if (options.verbose) {
+      const std::map<std::string, std::uint64_t> counters = server.counters();
+      std::printf(
+          "serve: stopped after %llu query(ies) (%llu cache hits, %llu "
+          "misses, %llu jobs executed)\n",
+          static_cast<unsigned long long>(counters.at("queries")),
+          static_cast<unsigned long long>(counters.at("cache_hits")),
+          static_cast<unsigned long long>(counters.at("cache_misses")),
+          static_cast<unsigned long long>(counters.at("jobs_executed")));
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+int cmd_query(const util::CliArgs& args) {
+  const std::string spec_path = args.positional(0);
+  const std::filesystem::path socket = args.get("socket", "results/serve.sock");
+  const bool want_table = args.has("table");
+  const std::string out = args.get("out", "");
+  const bool quiet = args.has("quiet");
+  const bool ping = args.has("ping");
+  const bool status = args.has("status");
+  const bool shutdown = args.has("shutdown");
+  const bool json = args.has("json");
+  reject_unknown_flags(args);
+  if (static_cast<int>(ping) + static_cast<int>(status) +
+          static_cast<int>(shutdown) >
+      1) {
+    usage("--ping, --status, and --shutdown are mutually exclusive");
+  }
+  if (spec_path.empty() && !ping && !status && !shutdown) {
+    usage("query needs a spec file: dsa_cli query <spec.json> "
+          "[--socket PATH]");
+  }
+  try {
+    serve::Client client(socket);
+    if (ping) {
+      client.ping();
+      std::printf("pong from %s\n", socket.string().c_str());
+      return 0;
+    }
+    if (status) {
+      const std::map<std::string, std::uint64_t> counters = client.status();
+      if (json) {
+        std::string line = "{\"type\":\"serve_status\",\"schema\":1";
+        line += ",\"socket\":\"" + util::json::escape(socket.string()) + "\"";
+        for (const auto& [name, value] : counters) {
+          line += ",\"" + util::json::escape(name) +
+                  "\":" + std::to_string(value);
+        }
+        line += "}";
+        std::printf("%s\n", line.c_str());
+      } else {
+        util::TablePrinter table({"counter", "value"});
+        for (const auto& [name, value] : counters) {
+          table.add_row({name, std::to_string(value)});
+        }
+        table.print(std::cout);
+      }
+      return 0;
+    }
+    if (shutdown) {
+      client.shutdown();
+      std::printf("serve daemon at %s is shutting down\n",
+                  socket.string().c_str());
+      return 0;
+    }
+
+    std::ifstream spec_file(spec_path);
+    if (!spec_file) {
+      throw std::runtime_error("cannot read spec file " + spec_path);
+    }
+    std::stringstream spec_text;
+    spec_text << spec_file.rdbuf();
+
+    std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
+        on_progress;
+    if (!quiet) {
+      on_progress = [](std::uint64_t done, std::uint64_t total,
+                       std::uint64_t cached) {
+        std::fprintf(stderr, "\r  %llu/%llu jobs (%llu from cache)",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     static_cast<unsigned long long>(cached));
+        if (done == total) std::fputc('\n', stderr);
+      };
+    }
+    const serve::Response result = client.query(
+        spec_text.str(), want_table ? "table" : "csv", on_progress);
+    if (!quiet) {
+      std::fprintf(
+          stderr,
+          "query '%s' (%s): %llu jobs (%llu cached, %llu executed) in "
+          "%s ms\n",
+          result.scenario.c_str(), result.kind.c_str(),
+          static_cast<unsigned long long>(result.jobs),
+          static_cast<unsigned long long>(result.cached_jobs),
+          static_cast<unsigned long long>(result.executed_jobs),
+          util::fixed(result.ms, 1).c_str());
+    }
+    if (out.empty()) {
+      std::fputs(result.body.c_str(), stdout);
+    } else {
+      util::atomic_write(out, result.body);
+      if (!quiet) std::fprintf(stderr, "result -> %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // `status` / `top`: read-only monitors over the heartbeat files live runs
 // maintain under DSA_STATUS=on (src/obs/telemetry.hpp). Both only read
 // those files — they never signal or otherwise touch the monitored
@@ -1263,6 +1490,21 @@ int cmd_status(const util::CliArgs& args) {
       out += ",\"uptime_sec\":" + util::exact_number(s.uptime_sec);
       out += ",\"timestamp_unix_ms\":" + std::to_string(s.timestamp_unix_ms);
       out += ",\"interval_ms\":" + std::to_string(s.interval_ms);
+      // Cumulative metric counters and gauges from the heartbeat, so CI
+      // can assert on feeds like serve.cache_hits without a daemon client.
+      out += ",\"counters\":{";
+      for (auto it = s.counters.begin(); it != s.counters.end(); ++it) {
+        if (it != s.counters.begin()) out += ',';
+        out += "\"" + util::json::escape(it->first) +
+               "\":" + std::to_string(it->second);
+      }
+      out += "},\"gauges\":{";
+      for (auto it = s.gauges.begin(); it != s.gauges.end(); ++it) {
+        if (it != s.gauges.begin()) out += ',';
+        out += "\"" + util::json::escape(it->first) +
+               "\":" + util::exact_number(it->second);
+      }
+      out += "}";
       if (!s.spec_fp.empty()) {
         out += ",\"spec_fp\":\"" + util::json::escape(s.spec_fp) + "\"";
       }
@@ -1443,6 +1685,10 @@ int cmd_version() {
               "                   (DSA_STATUS_INTERVAL_MS, DSA_STATUS_DIR; "
               "metric feeds %s)\n",
               DSA_OBS_COMPILED_IN != 0 ? "compiled in" : "compiled out");
+  std::printf("  serve daemon:    compiled in (dsa_cli serve / query over a "
+              "unix socket;\n"
+              "                   content-addressed result cache, JSONL "
+              "store pre-warm)\n");
   std::printf(
       "  engine default:  sparse (DSA_ENGINE or --engine: "
       "sparse|dense|batch)\n");
@@ -1483,6 +1729,8 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "run") return cmd_run(args);
   if (command == "explore") return cmd_explore(args);
   if (command == "report") return cmd_report(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "query") return cmd_query(args);
   if (command == "status") return cmd_status(args);
   if (command == "top") return cmd_top(args);
   if (command == "help") return cmd_help(args);
