@@ -15,10 +15,12 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flame/flame.hpp"
 #include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/recorder.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "stats/descriptive.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/env.hpp"
@@ -111,6 +113,16 @@ struct MetricsScope {
   explicit MetricsScope(std::string name)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     if (metrics_requested()) obs::set_enabled(true);
+    // DSA_METRICS_QUANTILES picks the histogram quantiles the metrics
+    // snapshot exports; DSA_PROF=on samples this bench's wall-clock stacks
+    // into <DSA_METRICS_DIR>/PROF_<name>.folded (unless DSA_PROF_OUT says
+    // otherwise).
+    obs::set_export_quantiles(obs::quantiles_from_environment());
+    obs::FlameOptions prof = obs::FlameOptions::from_environment();
+    if (prof.enabled && util::env_string("DSA_PROF_OUT", "").empty()) {
+      prof.out = metrics_dir() + "/PROF_" + name_ + ".folded";
+    }
+    obs::FlameSampler::global().configure(prof);
   }
 
   /// One timed repetition, in milliseconds (steady-clock measured).
@@ -154,6 +166,16 @@ struct MetricsScope {
             metrics_dir() + "/BENCH_" + name_ + ".json";
         util::atomic_write(path, bench_json(name_, wall_ms_, knobs_));
         std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+      }
+      if (obs::FlameSampler::global().enabled()) {
+        const std::string out =
+            obs::FlameSampler::global().options().out.string();
+        const std::uint64_t samples =
+            obs::FlameSampler::global().stop_and_write();
+        if (samples > 0) {
+          std::fprintf(stderr, "[prof] %llu samples -> %s\n",
+                       static_cast<unsigned long long>(samples), out.c_str());
+        }
       }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "[bench] perf summary failed: %s\n", error.what());

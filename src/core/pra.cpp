@@ -121,6 +121,7 @@ double PraEngine::raw_performance_of(std::uint32_t p) const {
 }
 
 std::vector<double> PraEngine::raw_performance() const {
+  DSA_OBS_PHASE("pra/performance");
   const std::uint32_t count = model_.protocol_count();
   const std::size_t runs = config_.performance_runs;
   const std::size_t total = static_cast<std::size_t>(count) * runs;
@@ -187,6 +188,7 @@ double PraEngine::win_rate_of(std::uint32_t p, double pi_fraction) const {
 }
 
 std::vector<double> PraEngine::tournament(double pi_fraction) const {
+  DSA_OBS_PHASE("pra/tournament");
   if (!(pi_fraction > 0.0 && pi_fraction < 1.0)) {
     throw std::invalid_argument("PraEngine::tournament: bad split");
   }

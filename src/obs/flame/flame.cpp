@@ -1,0 +1,346 @@
+#include "obs/flame/flame.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "util/env.hpp"
+#include "util/fs.hpp"
+
+namespace dsa::obs {
+
+// ---------------------------------------------------------------------------
+// Options.
+
+FlameOptions FlameOptions::from_environment() {
+  FlameOptions options;
+  options.enabled = util::env_enum("DSA_PROF", "off", {"off", "on"}) == "on";
+  const std::int64_t hz = util::env_int("DSA_PROF_HZ", options.hz);
+  if (hz < 1 || hz > 1000) {
+    throw std::runtime_error("DSA_PROF_HZ=" + std::to_string(hz) +
+                             ": must be in [1, 1000]");
+  }
+  options.hz = static_cast<std::uint32_t>(hz);
+  options.out = util::env_string("DSA_PROF_OUT", options.out.string());
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler.
+
+struct FlameSampler::Impl {
+  mutable std::mutex mutex;
+  std::condition_variable wake;
+  FlameOptions options;
+  FoldedStacks stacks;
+  std::uint64_t written = 0;  // samples flushed by stop_and_write
+  bool running = false;       // sampler thread live
+  bool stop = false;
+  std::thread thread;
+
+  void take_sample_locked() {
+    std::vector<std::string> live = Profiler::global().sample_live_stacks();
+    if (live.empty()) {
+      ++stacks[kIdleStack];
+      return;
+    }
+    for (std::string& folded : live) ++stacks[std::move(folded)];
+  }
+
+  void stop_thread(std::unique_lock<std::mutex>& lock) {
+    if (!running) return;
+    stop = true;
+    wake.notify_all();
+    std::thread joining = std::move(thread);
+    lock.unlock();
+    joining.join();
+    lock.lock();
+    running = false;
+    stop = false;
+  }
+
+  void start_thread() {
+    running = true;
+    thread = std::thread([this] {
+      const auto period =
+          std::chrono::nanoseconds(1'000'000'000u / options.hz);
+      std::unique_lock<std::mutex> lock(mutex);
+      while (!stop) {
+        // Sample first, then sleep: a short-lived process still gets at
+        // least one tick.
+        take_sample_locked();
+        wake.wait_for(lock, period, [this] { return stop; });
+      }
+    });
+  }
+};
+
+FlameSampler::FlameSampler() : impl_(new Impl) {}
+
+FlameSampler::~FlameSampler() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stop_thread(lock);
+}
+
+FlameSampler& FlameSampler::global() {
+  static FlameSampler instance;
+  return instance;
+}
+
+void FlameSampler::configure(const FlameOptions& options) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stop_thread(lock);
+  impl_->options = options;
+  if (options.enabled) {
+    // Phases must record for samples to see frames (mirrors telemetry).
+    set_enabled(true);
+    impl_->start_thread();
+  }
+}
+
+bool FlameSampler::enabled() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->options.enabled && impl_->running;
+}
+
+FlameOptions FlameSampler::options() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->options;
+}
+
+void FlameSampler::sample_now() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->take_sample_locked();
+}
+
+FoldedStacks FlameSampler::stacks() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stacks;
+}
+
+std::uint64_t FlameSampler::stop_and_write() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stop_thread(lock);
+  std::uint64_t total = 0;
+  for (const auto& [path, count] : impl_->stacks) total += count;
+  if (total == 0) return 0;
+  const std::string text = to_folded_text(impl_->stacks);
+  const std::filesystem::path out = impl_->options.out;
+  lock.unlock();
+  try {
+    util::atomic_write(out, text);
+  } catch (const std::exception& error) {
+    // A full disk may lose the profile, never the experiment.
+    std::fprintf(stderr, "[prof] write failed: %s\n", error.what());
+    return 0;
+  }
+  lock.lock();
+  impl_->written = total;
+  return total;
+}
+
+void FlameSampler::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->stacks.clear();
+  impl_->written = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Folded text.
+
+std::string to_folded_text(const FoldedStacks& stacks) {
+  std::ostringstream out;
+  for (const auto& [path, count] : stacks) {
+    if (count == 0) continue;
+    out << path << ' ' << count << '\n';
+  }
+  return std::move(out).str();
+}
+
+FoldedStacks parse_folded(std::string_view text) {
+  FoldedStacks stacks;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    const auto fail = [&](const char* reason) {
+      throw std::runtime_error("folded line " + std::to_string(line_number) +
+                               ": " + reason);
+    };
+    if (space == std::string_view::npos || space == 0) {
+      fail("expected '<stack> <count>'");
+    }
+    const std::string_view count_text = line.substr(space + 1);
+    if (count_text.empty() ||
+        count_text.find_first_not_of("0123456789") != std::string_view::npos) {
+      fail("malformed sample count");
+    }
+    std::uint64_t count = 0;
+    for (char c : count_text) count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    stacks[std::string(line.substr(0, space))] += count;
+  }
+  return stacks;
+}
+
+FoldedStacks load_folded(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw std::runtime_error("cannot open folded file: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_folded(buffer.str());
+}
+
+double FlameSummary::attribution() const noexcept {
+  const std::uint64_t busy = total - idle;
+  if (busy == 0) return 1.0;
+  return static_cast<double>(attributed) / static_cast<double>(busy);
+}
+
+FlameSummary summarize_folded(const FoldedStacks& stacks) {
+  FlameSummary summary;
+  for (const auto& [path, count] : stacks) {
+    summary.total += count;
+    if (path == kIdleStack) {
+      summary.idle += count;
+      continue;
+    }
+    if (path.find(';') != std::string::npos) summary.attributed += count;
+  }
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// Terminal renderer.
+
+namespace {
+struct FlameNode {
+  std::uint64_t count = 0;  // samples in this subtree
+  std::map<std::string, FlameNode> children;
+};
+
+void insert_path(FlameNode& root, std::string_view path,
+                 std::uint64_t count) {
+  FlameNode* node = &root;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find(';', start);
+    if (end == std::string_view::npos) end = path.size();
+    node = &node->children[std::string(path.substr(start, end - start))];
+    node->count += count;
+    if (end == path.size()) break;
+    start = end + 1;
+  }
+}
+
+void render_node(std::ostringstream& out, const std::string& name,
+                 const FlameNode& node, std::uint64_t busy_total, int depth) {
+  const double share =
+      busy_total == 0
+          ? 0.0
+          : static_cast<double>(node.count) / static_cast<double>(busy_total);
+  constexpr int kBarWidth = 24;
+  const int filled = static_cast<int>(share * kBarWidth + 0.5);
+  std::string bar;
+  for (int i = 0; i < kBarWidth; ++i) bar += i < filled ? "#" : ".";
+  char line[512];
+  std::snprintf(line, sizeof(line), "  %*s%-*s %8llu  %5.1f%%  [%s]\n",
+                depth * 2, "",
+                std::max(1, 36 - depth * 2), name.c_str(),
+                static_cast<unsigned long long>(node.count), share * 100.0,
+                bar.c_str());
+  out << line;
+  // Children hottest-first; ties broken by name for deterministic output.
+  std::vector<std::pair<std::string, const FlameNode*>> ordered;
+  ordered.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    ordered.emplace_back(child_name, &child);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->count != b.second->count) {
+                return a.second->count > b.second->count;
+              }
+              return a.first < b.first;
+            });
+  for (const auto& [child_name, child] : ordered) {
+    render_node(out, child_name, *child, busy_total, depth + 1);
+  }
+}
+}  // namespace
+
+std::string render_flame(const FoldedStacks& stacks) {
+  const FlameSummary summary = summarize_folded(stacks);
+  std::ostringstream out;
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "flame: %llu samples (%llu idle), attribution %.1f%% below "
+                "root\n\n",
+                static_cast<unsigned long long>(summary.total),
+                static_cast<unsigned long long>(summary.idle),
+                summary.attribution() * 100.0);
+  out << header;
+  if (summary.total == summary.idle) {
+    out << "  (no non-idle samples)\n";
+    return std::move(out).str();
+  }
+
+  FlameNode root;
+  for (const auto& [path, count] : stacks) {
+    if (path == kIdleStack) continue;
+    insert_path(root, path, count);
+  }
+  const std::uint64_t busy = summary.total - summary.idle;
+  std::vector<std::pair<std::string, const FlameNode*>> ordered;
+  for (const auto& [name, node] : root.children) {
+    ordered.emplace_back(name, &node);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second->count != b.second->count) {
+      return a.second->count > b.second->count;
+    }
+    return a.first < b.first;
+  });
+  for (const auto& [name, node] : ordered) {
+    render_node(out, name, *node, busy, 0);
+  }
+
+  // Hottest whole stacks (leaf paths), the "where is the time" shortlist.
+  std::vector<std::pair<std::string, std::uint64_t>> hottest;
+  for (const auto& [path, count] : stacks) {
+    if (path != kIdleStack) hottest.emplace_back(path, count);
+  }
+  std::sort(hottest.begin(), hottest.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  out << "\nhottest stacks:\n";
+  const std::size_t top = std::min<std::size_t>(hottest.size(), 5);
+  for (std::size_t i = 0; i < top; ++i) {
+    char line[512];
+    std::snprintf(line, sizeof(line), "  %5.1f%%  %s\n",
+                  100.0 * static_cast<double>(hottest[i].second) /
+                      static_cast<double>(busy),
+                  hottest[i].first.c_str());
+    out << line;
+  }
+  return std::move(out).str();
+}
+
+}  // namespace dsa::obs

@@ -1,0 +1,127 @@
+// Wall-clock sampling profiler with flamegraph output.
+//
+// The phase profiler (obs/profiler) answers "how much total time per
+// path"; it cannot say where wall time goes *right now* or how time nests
+// while a phase is open. This module adds the classic sampling view: a
+// background thread wakes `DSA_PROF_HZ` times a second, snapshots every
+// registered thread's live phase stack (Profiler::sample_live_stacks — a
+// few relaxed atomic loads per thread, never a lock shared with sim hot
+// paths), and accumulates folded stacks. On stop the counts are written as
+// collapsed-stack text — `outer;inner;leaf <samples>` lines, the format
+// flamegraph.pl and speedscope ingest directly — plus a self-contained
+// terminal renderer behind `dsa_cli flame <folded>`.
+//
+// Ticks where no thread has an open phase are recorded under "(idle)"
+// (process alive, instrumentation dark — startup, I/O, pool teardown).
+// Attribution = samples whose stack is at least two frames deep, over all
+// non-idle samples: the fraction of observed wall time the phase wiring
+// can place *below* a root. CI's flame-smoke job holds a PRA sweep to
+// >= 90%.
+//
+// Determinism contract: the sampler only reads; it consumes no RNG and
+// touches no sim state, so every result artifact is bitwise-identical with
+// DSA_PROF on or off. The folded output itself is wall-clock data and is
+// never fingerprinted.
+//
+// Enabled via DSA_PROF=on (DSA_PROF_HZ, DSA_PROF_OUT tune it); parsing is
+// strict like every other DSA_* knob.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace dsa::obs {
+
+/// Folded stack name used for ticks with no open phase anywhere.
+inline constexpr const char* kIdleStack = "(idle)";
+
+/// Sampler configuration, normally read from the environment once at
+/// process start (dsa_cli main, bench MetricsScope).
+struct FlameOptions {
+  bool enabled = false;
+  std::uint32_t hz = 97;  // sampling rate; a prime, so periodic phase
+                          // boundaries don't alias the sample clock
+  std::filesystem::path out = "results/PROF.folded";
+
+  /// DSA_PROF=off|on, DSA_PROF_HZ (1..1000), DSA_PROF_OUT. Set-but-invalid
+  /// values throw std::runtime_error naming the variable and value.
+  static FlameOptions from_environment();
+};
+
+/// Accumulated samples: folded stack ("a;b;c" or "(idle)") -> count.
+using FoldedStacks = std::map<std::string, std::uint64_t>;
+
+/// The sampler. Most code drives the process-wide global() instance;
+/// tests construct their own.
+class FlameSampler {
+ public:
+  FlameSampler();
+  ~FlameSampler();
+  FlameSampler(const FlameSampler&) = delete;
+  FlameSampler& operator=(const FlameSampler&) = delete;
+
+  static FlameSampler& global();
+
+  /// Applies options: starts the sampling thread when enabled, stops it
+  /// (joining, keeping accumulated samples) when disabled. Enabling also
+  /// flips obs::set_enabled(true) so phases exist to sample (when
+  /// compiled in).
+  void configure(const FlameOptions& options);
+
+  [[nodiscard]] bool enabled() const noexcept;
+  [[nodiscard]] FlameOptions options() const;
+
+  /// Takes one sample synchronously (tests, deterministic drivers).
+  void sample_now();
+
+  /// Copy of the accumulated folded stacks.
+  [[nodiscard]] FoldedStacks stacks() const;
+
+  /// Stops the sampling thread and writes the collapsed-stack file
+  /// (util::atomic_write; I/O errors are swallowed — profiling must never
+  /// fail the experiment). Returns the total sample count written, 0 when
+  /// nothing was ever sampled (no file is written then). Idempotent.
+  std::uint64_t stop_and_write();
+
+  /// Drops accumulated samples (registrations/config stay).
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Folded-stack text: writer, parser, summary, terminal renderer.
+
+/// Collapsed-stack text: one "path count" line per entry, paths sorted
+/// bytewise (deterministic given the same counts).
+[[nodiscard]] std::string to_folded_text(const FoldedStacks& stacks);
+
+/// Parses collapsed-stack text. Throws std::runtime_error naming the line
+/// on malformed input (missing count, junk after count, empty path).
+[[nodiscard]] FoldedStacks parse_folded(std::string_view text);
+[[nodiscard]] FoldedStacks load_folded(const std::filesystem::path& path);
+
+/// Sample accounting over a folded set.
+struct FlameSummary {
+  std::uint64_t total = 0;       // all samples including idle
+  std::uint64_t idle = 0;        // "(idle)" samples
+  std::uint64_t attributed = 0;  // stacks with >= 2 frames
+  /// attributed / (total - idle); 1.0 when there are no non-idle samples
+  /// (nothing observed means nothing unattributed).
+  [[nodiscard]] double attribution() const noexcept;
+};
+[[nodiscard]] FlameSummary summarize_folded(const FoldedStacks& stacks);
+
+/// Renders the folded set as an indented tree with per-node sample
+/// percentages and bars, plus the hottest leaf stacks — the `dsa_cli
+/// flame` view. Pure function of the counts.
+[[nodiscard]] std::string render_flame(const FoldedStacks& stacks);
+
+}  // namespace dsa::obs

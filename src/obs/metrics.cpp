@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "obs/json_util.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "util/csv.hpp"
 #include "util/fs.hpp"
 
@@ -257,25 +258,17 @@ double MetricsSnapshot::gauge_value(std::string_view name) const {
 
 double MetricsSnapshot::HistogramValue::quantile(double q) const {
   if (count == 0 || bounds.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count);
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    if (buckets[i] == 0) continue;
-    const auto in_bucket = static_cast<double>(buckets[i]);
-    if (cumulative + in_bucket >= target) {
-      if (i >= bounds.size()) return bounds.back();  // overflow bucket
-      const double lo = i == 0 ? 0.0 : bounds[i - 1];
-      const double into = std::clamp((target - cumulative) / in_bucket,
-                                     0.0, 1.0);
-      return lo + (bounds[i] - lo) * into;
-    }
-    cumulative += in_bucket;
-  }
-  return bounds.back();
+  // The cumulative walk is the shared sketch core (obs/sketch): the same
+  // rank arithmetic backs SketchSnapshot::quantile, so histogram exports
+  // and sketch timelines agree on what "p99" means.
+  const BucketPosition pos = quantile_bucket(buckets, count, q);
+  if (pos.index >= bounds.size()) return bounds.back();  // overflow bucket
+  const double lo = pos.index == 0 ? 0.0 : bounds[pos.index - 1];
+  return lo + (bounds[pos.index] - lo) * pos.fraction;
 }
 
 std::string MetricsSnapshot::to_jsonl() const {
+  const std::vector<QuantileSpec> quantiles = export_quantiles();
   std::ostringstream out;
   for (const auto& c : counters) {
     out << "{\"type\":\"counter\",\"name\":\"" << json_escape(c.name)
@@ -298,10 +291,14 @@ std::string MetricsSnapshot::to_jsonl() const {
       out << h.buckets[i];
     }
     out << "],\"count\":" << h.count
-        << ",\"sum\":" << util::format_number(h.sum)
-        << ",\"p50\":" << util::format_number(h.quantile(0.5))
-        << ",\"p90\":" << util::format_number(h.quantile(0.9))
-        << ",\"p99\":" << util::format_number(h.quantile(0.99)) << "}\n";
+        << ",\"sum\":" << util::format_number(h.sum);
+    // Configurable quantile list (DSA_METRICS_QUANTILES); the default is
+    // the historical p50/p90/p99 triple, so existing outputs are stable.
+    for (const QuantileSpec& spec : quantiles) {
+      out << ",\"" << json_escape(spec.label)
+          << "\":" << util::format_number(h.quantile(spec.q));
+    }
+    out << "}\n";
   }
   return out.str();
 }

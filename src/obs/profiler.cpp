@@ -1,10 +1,13 @@
 #include "obs/profiler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -18,17 +21,54 @@ struct Accum {
   std::uint64_t count = 0;
   double total_ns = 0.0;
 };
+
+// Interned phase names: stable const char* per distinct name, never freed,
+// so a sampler thread can dereference a frame pointer it read from another
+// thread's live stack at any time. Phase names are a small fixed set of
+// mostly string literals; the thread-local cache makes the steady-state
+// intern one hash lookup with no lock.
+const char* intern_phase_name(std::string_view name) {
+  static std::mutex mutex;
+  static std::deque<std::string> storage;  // stable addresses
+  static std::unordered_map<std::string_view, const char*> table;
+  thread_local std::unordered_map<std::string, const char*> cache;
+
+  if (const auto it = cache.find(std::string(name)); it != cache.end()) {
+    return it->second;
+  }
+  const char* interned = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const auto it = table.find(name); it != table.end()) {
+      interned = it->second;
+    } else {
+      storage.emplace_back(name);
+      interned = storage.back().c_str();
+      table.emplace(storage.back(), interned);
+    }
+  }
+  cache.emplace(std::string(name), interned);
+  return interned;
+}
 }  // namespace
 
 // One thread's open-span path plus its aggregation map. The path/stack
 // fields are owner-only; `totals` is guarded by `mutex` because report()
 // reads it from another thread (the owner locks it once per completed span,
 // and spans are coarse, so the lock never contends in steady state).
+//
+// live_frames/live_depth are the lock-free sampling view: the owner stores
+// an interned frame then publishes the new depth with release order; a
+// sampler acquires the depth and reads at most that many frames. The owner
+// never blocks on a sampler.
 struct Profiler::ThreadState {
   std::mutex mutex;
   std::unordered_map<std::string, Accum> totals;
 
   std::string path;  // owner-only: "a/b/c" of currently open spans
+
+  std::atomic<std::uint32_t> live_depth{0};
+  std::atomic<const char*> live_frames[Profiler::kMaxLiveDepth] = {};
 };
 
 struct Profiler::Impl {
@@ -51,6 +91,26 @@ Profiler::ThreadState& Profiler::local_state() {
   impl_->states.push_back(std::make_unique<ThreadState>());
   cached = impl_->states.back().get();
   return *cached;
+}
+
+std::vector<std::string> Profiler::sample_live_stacks() const {
+  std::vector<std::string> stacks;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& state : impl_->states) {
+    const std::uint32_t depth = std::min<std::uint32_t>(
+        state->live_depth.load(std::memory_order_acquire), kMaxLiveDepth);
+    if (depth == 0) continue;
+    std::string folded;
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      const char* frame =
+          state->live_frames[i].load(std::memory_order_relaxed);
+      if (frame == nullptr) break;  // slot not yet published (racy enter)
+      if (!folded.empty()) folded += ';';
+      folded += frame;
+    }
+    if (!folded.empty()) stacks.push_back(std::move(folded));
+  }
+  return stacks;
 }
 
 PhaseReport Profiler::report() const {
@@ -115,6 +175,16 @@ ScopedPhase::ScopedPhase(std::string_view name) {
   prev_len_ = state.path.size();
   if (!state.path.empty()) state.path += '/';
   state.path += name;
+  // Publish the frame for wall-clock samplers: store the interned name,
+  // then the grown depth with release order so an acquiring reader never
+  // sees the depth before the frame.
+  const std::uint32_t depth =
+      state.live_depth.load(std::memory_order_relaxed);
+  if (depth < Profiler::kMaxLiveDepth) {
+    state.live_frames[depth].store(intern_phase_name(name),
+                                   std::memory_order_relaxed);
+  }
+  state.live_depth.store(depth + 1, std::memory_order_release);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -132,6 +202,9 @@ ScopedPhase::~ScopedPhase() {
   TraceSink& sink = TraceSink::global();
   if (sink.active()) sink.complete(state_->path, start_, end);
   state_->path.resize(prev_len_);
+  state_->live_depth.store(
+      state_->live_depth.load(std::memory_order_relaxed) - 1,
+      std::memory_order_release);
 }
 
 }  // namespace dsa::obs

@@ -37,10 +37,23 @@ using PhaseReport = std::vector<PhaseStat>;
 
 class Profiler {
  public:
+  /// Deepest phase nesting the live-stack view tracks. Deeper spans still
+  /// time correctly; they just stop contributing frames to samples.
+  static constexpr std::size_t kMaxLiveDepth = 32;
+
   static Profiler& global();
 
   /// Merged per-path totals across every thread, sorted by path.
   [[nodiscard]] PhaseReport report() const;
+
+  /// Wall-clock sampling view: every thread's currently-open phase stack,
+  /// folded as "outer;inner;leaf", threads with no open phase skipped.
+  /// Reading never blocks phase enter/exit — each frame is one relaxed
+  /// atomic load of an interned name pointer (valid for the process
+  /// lifetime), the depth an acquire load. A stack caught mid-transition
+  /// may be off by its leaf frame; that is ordinary sampling skew, never
+  /// a torn pointer.
+  [[nodiscard]] std::vector<std::string> sample_live_stacks() const;
 
   /// report() rendered as an aligned text table (for stderr epilogues).
   [[nodiscard]] std::string report_text() const;

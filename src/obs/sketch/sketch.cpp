@@ -1,0 +1,583 @@
+#include "obs/sketch/sketch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json_util.hpp"
+#include "util/env.hpp"
+#include "util/fingerprint.hpp"
+#include "util/json.hpp"
+
+namespace dsa::obs {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+double gamma_of(const SketchOptions& options) {
+  return (1.0 + options.relative_error) / (1.0 - options.relative_error);
+}
+
+/// Number of log-spaced magnitude buckets covering [min_value, max_value].
+std::size_t bucket_count(const SketchOptions& options) {
+  const double span =
+      std::log(options.max_value / options.min_value) /
+      std::log(gamma_of(options));
+  return static_cast<std::size_t>(std::ceil(span)) + 1;
+}
+
+/// Magnitude bucket index for |v| in [min_value, inf): bucket i covers
+/// (min·gamma^(i-1), min·gamma^i], clamped into the top bucket above
+/// max_value.
+std::size_t magnitude_bucket(double magnitude, const SketchOptions& options,
+                             std::size_t n_buckets) {
+  const double ratio =
+      std::log(magnitude / options.min_value) / std::log(gamma_of(options));
+  const double index = std::ceil(ratio);
+  if (index <= 0.0) return 0;
+  if (index >= static_cast<double>(n_buckets - 1)) return n_buckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+/// Midpoint representative of magnitude bucket i: within relative_error of
+/// every value the bucket covers.
+double bucket_representative(std::size_t index, const SketchOptions& options) {
+  const double gamma = gamma_of(options);
+  return options.min_value * 2.0 *
+         std::pow(gamma, static_cast<double>(index)) / (gamma + 1.0);
+}
+
+void validate(const SketchOptions& options, std::string_view name) {
+  if (!(options.relative_error > 0.0) || !(options.relative_error < 1.0) ||
+      !(options.min_value > 0.0) ||
+      !(options.min_value < options.max_value)) {
+    throw std::invalid_argument(
+        "obs::SketchRegistry: sketch '" + std::string(name) +
+        "' needs 0 < relative_error < 1 and 0 < min_value < max_value");
+  }
+}
+
+std::vector<QuantileSpec> default_quantiles() {
+  return {{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}};
+}
+
+std::mutex g_export_mutex;
+std::vector<QuantileSpec>& export_list() {
+  static std::vector<QuantileSpec> list = default_quantiles();
+  return list;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Quantile-export configuration.
+
+std::vector<QuantileSpec> parse_quantile_list(std::string_view text) {
+  std::vector<QuantileSpec> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string token(text.substr(start, end - start));
+    start = end + 1;
+    // Trim surrounding spaces; empty tokens (",," or a trailing comma) are
+    // malformed rather than skipped — a typo must not silently drop a
+    // quantile.
+    const std::size_t first = token.find_first_not_of(" \t");
+    const std::size_t last = token.find_last_not_of(" \t");
+    if (first == std::string::npos) {
+      throw std::invalid_argument("empty quantile token");
+    }
+    token = token.substr(first, last - first + 1);
+
+    double q = 0.0;
+    std::string label;
+    if (token.front() == 'p' || token.front() == 'P') {
+      const std::string digits = token.substr(1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad quantile token '" + token +
+                                    "' (expected pNN or a fraction)");
+      }
+      // Digits after 'p' read as a decimal fraction: p5 = p50 = 0.5,
+      // p999 = 0.999.
+      double scale = 1.0;
+      for (char c : digits) {
+        scale /= 10.0;
+        q += static_cast<double>(c - '0') * scale;
+      }
+      label = "p" + digits;
+    } else {
+      char* parse_end = nullptr;
+      q = std::strtod(token.c_str(), &parse_end);
+      if (parse_end == token.c_str() || *parse_end != '\0') {
+        throw std::invalid_argument("bad quantile token '" + token +
+                                    "' (expected pNN or a fraction)");
+      }
+      // Label from the fraction digits: 0.25 -> p25, 0.999 -> p999.
+      char digits[16];
+      std::snprintf(digits, sizeof(digits), "%.6f", q);
+      std::string body(digits + 2);  // strip "0."
+      while (body.size() > 1 && body.back() == '0') body.pop_back();
+      label = "p" + body;
+    }
+    if (!(q > 0.0) || !(q < 1.0)) {
+      throw std::invalid_argument("quantile '" + token +
+                                  "' outside (0, 1)");
+    }
+    specs.push_back({std::move(label), q});
+  }
+  if (specs.empty()) throw std::invalid_argument("empty quantile list");
+  return specs;
+}
+
+std::vector<QuantileSpec> quantiles_from_environment() {
+  const std::string text = util::env_string("DSA_METRICS_QUANTILES", "");
+  if (text.empty()) return default_quantiles();
+  try {
+    return parse_quantile_list(text);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error("DSA_METRICS_QUANTILES='" + text +
+                             "': " + error.what());
+  }
+}
+
+std::vector<QuantileSpec> export_quantiles() {
+  std::lock_guard<std::mutex> lock(g_export_mutex);
+  return export_list();
+}
+
+void set_export_quantiles(std::vector<QuantileSpec> specs) {
+  std::lock_guard<std::mutex> lock(g_export_mutex);
+  export_list() = specs.empty() ? default_quantiles() : std::move(specs);
+}
+
+// ---------------------------------------------------------------------------
+// Shared quantile core.
+
+BucketPosition quantile_bucket(std::span<const std::uint64_t> buckets,
+                               std::uint64_t total, double q) {
+  if (total == 0) return {buckets.size(), 0.0};
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket >= target) {
+      return {i, std::clamp((target - cumulative) / in_bucket, 0.0, 1.0)};
+    }
+    cumulative += in_bucket;
+  }
+  return {buckets.size(), 0.0};
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals.
+
+// One thread's private slice of every registered summary. Only the owning
+// thread writes; snapshot() reads the relaxed atomic cells under the
+// registry mutex (growth also holds the mutex, so the deque structure is
+// stable whenever another thread looks).
+struct SketchRegistry::Shard {
+  struct SketchCells {
+    // Layout: [0] zero bucket, [1 .. n] positive, [n+1 .. 2n] negative.
+    explicit SketchCells(std::size_t n_buckets)
+        : cells(std::make_unique<std::atomic<std::uint64_t>[]>(
+              1 + 2 * n_buckets)),
+          n(n_buckets) {
+      for (std::size_t i = 0; i < 1 + 2 * n; ++i) cells[i].store(0, kRelaxed);
+    }
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+    std::size_t n;
+  };
+
+  struct MomentCells {
+    MomentCells() {
+      min_bits.store(
+          std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+          kRelaxed);
+      max_bits.store(std::bit_cast<std::uint64_t>(
+                         -std::numeric_limits<double>::infinity()),
+                     kRelaxed);
+    }
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};
+    std::atomic<std::uint64_t> sum_squares_bits{0};
+    std::atomic<std::uint64_t> min_bits;
+    std::atomic<std::uint64_t> max_bits;
+  };
+
+  std::deque<SketchCells> sketches;
+  std::deque<MomentCells> moments;
+};
+
+struct SketchRegistry::Impl {
+  mutable std::mutex mutex;
+
+  std::vector<std::string> sketch_names;
+  std::unordered_map<std::string, std::size_t> sketch_ids;
+  std::vector<SketchOptions> sketch_options;
+  std::vector<std::size_t> sketch_buckets;  // bucket_count per sketch
+
+  std::vector<std::string> moment_names;
+  std::unordered_map<std::string, std::size_t> moment_ids;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+namespace {
+// Registry identity for the thread-local shard cache (same discipline as
+// obs::Registry: instance ids never reused, so a destroyed registry can
+// never alias a new one at the same address).
+std::atomic<std::uint64_t> g_next_sketch_instance_id{1};
+
+// Lock-free double accumulate / min / max on bit-cast atomic cells.
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t expected = bits.load(kRelaxed);
+  while (!bits.compare_exchange_weak(
+      expected,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + delta),
+      kRelaxed, kRelaxed)) {
+  }
+}
+void atomic_min_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(kRelaxed);
+  while (value < std::bit_cast<double>(expected) &&
+         !bits.compare_exchange_weak(expected,
+                                     std::bit_cast<std::uint64_t>(value),
+                                     kRelaxed, kRelaxed)) {
+  }
+}
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t expected = bits.load(kRelaxed);
+  while (value > std::bit_cast<double>(expected) &&
+         !bits.compare_exchange_weak(expected,
+                                     std::bit_cast<std::uint64_t>(value),
+                                     kRelaxed, kRelaxed)) {
+  }
+}
+}  // namespace
+
+SketchRegistry::SketchRegistry()
+    : impl_(new Impl),
+      instance_id_(g_next_sketch_instance_id.fetch_add(1)) {}
+
+SketchRegistry::~SketchRegistry() { delete impl_; }
+
+SketchRegistry& SketchRegistry::global() {
+  static SketchRegistry instance;
+  return instance;
+}
+
+SketchRegistry::Shard& SketchRegistry::local_shard() {
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == instance_id_) return *shard;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->shards.push_back(std::make_unique<Shard>());
+  Shard* shard = impl_->shards.back().get();
+  cache.emplace_back(instance_id_, shard);
+  return *shard;
+}
+
+QuantileSketch SketchRegistry::sketch(std::string_view name,
+                                      SketchOptions options) {
+  validate(options, name);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->sketch_ids.try_emplace(
+      std::string(name), impl_->sketch_names.size());
+  if (inserted) {
+    impl_->sketch_names.emplace_back(name);
+    impl_->sketch_options.push_back(options);
+    impl_->sketch_buckets.push_back(bucket_count(options));
+  } else if (!(impl_->sketch_options[it->second] == options)) {
+    throw std::invalid_argument("obs::SketchRegistry: sketch '" +
+                                std::string(name) +
+                                "' re-registered with different options");
+  }
+  return QuantileSketch(this, it->second);
+}
+
+MomentsAccumulator SketchRegistry::moments(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto [it, inserted] = impl_->moment_ids.try_emplace(
+      std::string(name), impl_->moment_names.size());
+  if (inserted) impl_->moment_names.emplace_back(name);
+  return MomentsAccumulator(this, it->second);
+}
+
+void QuantileSketch::insert(double value) const noexcept {
+  if (registry_ == nullptr || !enabled()) return;
+  SketchRegistry::Shard& shard = registry_->local_shard();
+  if (id_ >= shard.sketches.size()) {
+    // First touch on this thread: grow under the registry mutex so
+    // snapshot() never races the deque's structure.
+    std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+    while (shard.sketches.size() <= id_) {
+      shard.sketches.emplace_back(
+          registry_->impl_->sketch_buckets[shard.sketches.size()]);
+    }
+  }
+  SketchRegistry::Shard::SketchCells& cells = shard.sketches[id_];
+  const SketchOptions& options = registry_->impl_->sketch_options[id_];
+  const double magnitude = std::abs(value);
+  std::size_t slot = 0;
+  if (std::isnan(value)) return;  // a NaN observation carries no rank
+  if (magnitude >= options.min_value) {
+    const std::size_t bucket = magnitude_bucket(magnitude, options, cells.n);
+    slot = value > 0.0 ? 1 + bucket : 1 + cells.n + bucket;
+  }
+  cells.cells[slot].fetch_add(1, kRelaxed);
+}
+
+void MomentsAccumulator::insert(double value) const noexcept {
+  if (registry_ == nullptr || !enabled()) return;
+  if (std::isnan(value)) return;
+  SketchRegistry::Shard& shard = registry_->local_shard();
+  if (id_ >= shard.moments.size()) {
+    std::lock_guard<std::mutex> lock(registry_->impl_->mutex);
+    while (shard.moments.size() <= id_) shard.moments.emplace_back();
+  }
+  SketchRegistry::Shard::MomentCells& cells = shard.moments[id_];
+  cells.count.fetch_add(1, kRelaxed);
+  atomic_add_double(cells.sum_bits, value);
+  atomic_add_double(cells.sum_squares_bits, value * value);
+  atomic_min_double(cells.min_bits, value);
+  atomic_max_double(cells.max_bits, value);
+}
+
+SketchRegistrySnapshot SketchRegistry::snapshot() const {
+  SketchRegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+
+  snap.sketches.resize(impl_->sketch_names.size());
+  for (std::size_t i = 0; i < impl_->sketch_names.size(); ++i) {
+    auto& sketch = snap.sketches[i];
+    sketch.name = impl_->sketch_names[i];
+    sketch.options = impl_->sketch_options[i];
+    sketch.negative.assign(impl_->sketch_buckets[i], 0);
+    sketch.positive.assign(impl_->sketch_buckets[i], 0);
+  }
+  snap.moments.resize(impl_->moment_names.size());
+  for (std::size_t i = 0; i < impl_->moment_names.size(); ++i) {
+    snap.moments[i].name = impl_->moment_names[i];
+    snap.moments[i].min = std::numeric_limits<double>::infinity();
+    snap.moments[i].max = -std::numeric_limits<double>::infinity();
+  }
+
+  for (const auto& shard : impl_->shards) {
+    for (std::size_t i = 0; i < shard->sketches.size(); ++i) {
+      const auto& cells = shard->sketches[i];
+      auto& sketch = snap.sketches[i];
+      sketch.zero_count += cells.cells[0].load(kRelaxed);
+      for (std::size_t b = 0; b < cells.n; ++b) {
+        sketch.positive[b] += cells.cells[1 + b].load(kRelaxed);
+        sketch.negative[b] += cells.cells[1 + cells.n + b].load(kRelaxed);
+      }
+    }
+    for (std::size_t i = 0; i < shard->moments.size(); ++i) {
+      const auto& cells = shard->moments[i];
+      auto& moments = snap.moments[i];
+      moments.count += cells.count.load(kRelaxed);
+      moments.sum += std::bit_cast<double>(cells.sum_bits.load(kRelaxed));
+      moments.sum_squares +=
+          std::bit_cast<double>(cells.sum_squares_bits.load(kRelaxed));
+      moments.min = std::min(
+          moments.min, std::bit_cast<double>(cells.min_bits.load(kRelaxed)));
+      moments.max = std::max(
+          moments.max, std::bit_cast<double>(cells.max_bits.load(kRelaxed)));
+    }
+  }
+  for (auto& moments : snap.moments) {
+    if (moments.count == 0) {
+      moments.min = 0.0;
+      moments.max = 0.0;
+    }
+  }
+  return snap;
+}
+
+void SketchRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& shard : impl_->shards) {
+    for (auto& cells : shard->sketches) {
+      for (std::size_t i = 0; i < 1 + 2 * cells.n; ++i) {
+        cells.cells[i].store(0, kRelaxed);
+      }
+    }
+    for (auto& cells : shard->moments) {
+      cells.count.store(0, kRelaxed);
+      cells.sum_bits.store(0, kRelaxed);
+      cells.sum_squares_bits.store(0, kRelaxed);
+      cells.min_bits.store(
+          std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+          kRelaxed);
+      cells.max_bits.store(std::bit_cast<std::uint64_t>(
+                               -std::numeric_limits<double>::infinity()),
+                           kRelaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot queries, merge, serialization.
+
+std::uint64_t SketchSnapshot::count() const noexcept {
+  std::uint64_t total = zero_count;
+  for (std::uint64_t c : negative) total += c;
+  for (std::uint64_t c : positive) total += c;
+  return total;
+}
+
+double SketchSnapshot::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Conceptual signed ordering: negative magnitudes (largest first), the
+  // zero bucket, then positive magnitudes ascending.
+  const std::size_t n = positive.size();
+  std::vector<std::uint64_t> ordered;
+  ordered.reserve(2 * n + 1);
+  for (std::size_t i = n; i-- > 0;) ordered.push_back(negative[i]);
+  ordered.push_back(zero_count);
+  for (std::size_t i = 0; i < n; ++i) ordered.push_back(positive[i]);
+
+  const BucketPosition pos = quantile_bucket(ordered, total, q);
+  if (pos.index >= ordered.size()) return 0.0;
+  if (pos.index < n) {
+    return -bucket_representative(n - 1 - pos.index, options);
+  }
+  if (pos.index == n) return 0.0;
+  return bucket_representative(pos.index - n - 1, options);
+}
+
+void SketchSnapshot::merge(const SketchSnapshot& other) {
+  if (!(options == other.options) ||
+      positive.size() != other.positive.size()) {
+    throw std::invalid_argument(
+        "obs::SketchSnapshot: merging sketches with different mappings");
+  }
+  zero_count += other.zero_count;
+  for (std::size_t i = 0; i < positive.size(); ++i) {
+    positive[i] += other.positive[i];
+    negative[i] += other.negative[i];
+  }
+}
+
+namespace {
+void append_sparse(std::ostringstream& out,
+                   const std::vector<std::uint64_t>& buckets) {
+  bool first = true;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << i << "\":" << buckets[i];
+  }
+}
+
+void read_sparse(const util::json::Value& object,
+                 std::vector<std::uint64_t>& buckets,
+                 std::string_view what) {
+  for (const auto& [key, value] : object.members) {
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(key.c_str(), &end, 10);
+    if (end == key.c_str() || *end != '\0' || index >= buckets.size() ||
+        value.type != util::json::Value::Type::kNumber) {
+      throw std::runtime_error("obs::SketchSnapshot: bad " +
+                               std::string(what) + " bucket '" + key + "'");
+    }
+    buckets[index] = static_cast<std::uint64_t>(value.number);
+  }
+}
+}  // namespace
+
+std::string SketchSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"type\":\"sketch\",\"name\":\"" << json_escape(name)
+      << "\",\"alpha\":" << util::exact_number(options.relative_error)
+      << ",\"min_value\":" << util::exact_number(options.min_value)
+      << ",\"max_value\":" << util::exact_number(options.max_value)
+      << ",\"zero\":" << zero_count << ",\"neg\":{";
+  append_sparse(out, negative);
+  out << "},\"pos\":{";
+  append_sparse(out, positive);
+  out << "}}";
+  return std::move(out).str();
+}
+
+SketchSnapshot SketchSnapshot::from_json(std::string_view text) {
+  const util::json::Value root = util::json::parse(text, "<sketch>");
+  const auto* type = root.find("type");
+  if (type == nullptr || type->text != "sketch") {
+    throw std::runtime_error("obs::SketchSnapshot: not a sketch object");
+  }
+  SketchSnapshot snap;
+  const auto number = [&root](const char* key) {
+    const auto* value = root.find(key);
+    if (value == nullptr || value->type != util::json::Value::Type::kNumber) {
+      throw std::runtime_error(
+          std::string("obs::SketchSnapshot: missing number '") + key + "'");
+    }
+    return value->number;
+  };
+  if (const auto* name_value = root.find("name")) snap.name = name_value->text;
+  snap.options.relative_error = number("alpha");
+  snap.options.min_value = number("min_value");
+  snap.options.max_value = number("max_value");
+  validate(snap.options, snap.name);
+  snap.zero_count = static_cast<std::uint64_t>(number("zero"));
+  const std::size_t n = bucket_count(snap.options);
+  snap.negative.assign(n, 0);
+  snap.positive.assign(n, 0);
+  const auto* neg = root.find("neg");
+  const auto* pos = root.find("pos");
+  if (neg == nullptr || pos == nullptr) {
+    throw std::runtime_error("obs::SketchSnapshot: missing neg/pos buckets");
+  }
+  read_sparse(*neg, snap.negative, "neg");
+  read_sparse(*pos, snap.positive, "pos");
+  return snap;
+}
+
+double MomentsSnapshot::mean() const noexcept {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double MomentsSnapshot::variance() const noexcept {
+  if (count == 0) return 0.0;
+  const double m = mean();
+  return std::max(0.0, sum_squares / static_cast<double>(count) - m * m);
+}
+
+double MomentsSnapshot::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void MomentsSnapshot::merge(const MomentsSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  sum_squares += other.sum_squares;
+}
+
+}  // namespace dsa::obs

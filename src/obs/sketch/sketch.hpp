@@ -1,0 +1,229 @@
+// Streaming sketches: constant-memory, mergeable summaries of value
+// distributions, built for the million-peer roadmap where per-peer event
+// logs are the wrong shape.
+//
+// Two summary kinds:
+//
+//  * QuantileSketch — a log-spaced fixed-bucket sketch (DDSketch-flavored
+//    mapping). A value's bucket index is floor-of-log with base
+//    gamma = (1 + alpha) / (1 - alpha), so every quantile reported for a
+//    value inside [min_value, max_value] is within relative error `alpha`
+//    of an exact-rank answer (proven by the accuracy suite against sorted
+//    streams). The issue suggests KLL/P²-style sketches; we deliberately
+//    use deterministic integer log-buckets instead: bucket counts are plain
+//    uint64 adds, so merges are *exactly* associative and commutative and a
+//    snapshot is bitwise-identical however the stream was sharded across
+//    threads — randomized compactors (KLL) or marker interpolation (P²)
+//    cannot give the repo's bitwise-determinism contract.
+//  * MomentsAccumulator — count / min / max / sum / sum-of-squares.
+//    count, min, and max are exactly merge-order-independent; mean and
+//    variance are derived from floating sums and may differ in the last
+//    ulp across shard merge orders (documented, tested with tolerances).
+//
+// Write path mirrors obs::Registry: each thread gets a private shard, an
+// insert is a handful of relaxed atomic RMWs on that shard, and snapshot()
+// merges shards under the registry mutex. Handles no-op when
+// default-constructed, and insert() additionally checks obs::enabled() so
+// instrumented hot loops pay one predictable branch when observability is
+// off.
+//
+// This header also owns the process-wide quantile-export configuration
+// (DSA_METRICS_QUANTILES): the label/fraction list that
+// MetricsSnapshot::to_jsonl, the telemetry sketch section, and `dsa_cli
+// top` all render. HistogramValue::quantile and SketchSnapshot::quantile
+// share the one cumulative bucket-walk implemented here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dsa::obs {
+
+class SketchRegistry;
+
+// ---------------------------------------------------------------------------
+// Quantile-export configuration (DSA_METRICS_QUANTILES).
+
+/// One exported quantile: display label ("p999") and fraction (0.999).
+struct QuantileSpec {
+  std::string label;
+  double q = 0.0;
+  bool operator==(const QuantileSpec&) const = default;
+};
+
+/// Parses a comma-separated quantile list: "p50,p90,p999" (digits after
+/// 'p' read as a decimal fraction, so p5 = p50 = 0.5, p999 = 0.999) or
+/// plain fractions like "0.25" (labeled from their digits). Throws
+/// std::invalid_argument on empty lists, malformed tokens, or fractions
+/// outside (0, 1).
+[[nodiscard]] std::vector<QuantileSpec> parse_quantile_list(
+    std::string_view text);
+
+/// DSA_METRICS_QUANTILES from the environment; the default p50/p90/p99
+/// when unset/empty. Set-but-invalid throws std::runtime_error naming the
+/// variable and value, like every other DSA_* knob.
+[[nodiscard]] std::vector<QuantileSpec> quantiles_from_environment();
+
+/// The process-wide export list (defaults to p50/p90/p99). Readers get a
+/// copy; set_export_quantiles replaces the list (empty input restores the
+/// default). Configured once at process start (dsa_cli main, bench
+/// MetricsScope) before writers run; the accessor itself is mutex-guarded.
+[[nodiscard]] std::vector<QuantileSpec> export_quantiles();
+void set_export_quantiles(std::vector<QuantileSpec> specs);
+
+// ---------------------------------------------------------------------------
+// Shared quantile core.
+
+/// Position of the q-th quantile in a cumulative walk over `buckets`:
+/// the covering bucket's index plus the fraction of that bucket's mass
+/// below the target rank (for interpolation). `total` must be the sum of
+/// `buckets`. Skips empty buckets exactly like the historical
+/// HistogramValue::quantile walk; q is clamped to [0, 1]. Returns
+/// {buckets.size(), 0.0} when total == 0.
+struct BucketPosition {
+  std::size_t index = 0;
+  double fraction = 0.0;
+};
+[[nodiscard]] BucketPosition quantile_bucket(
+    std::span<const std::uint64_t> buckets, std::uint64_t total, double q);
+
+// ---------------------------------------------------------------------------
+// Sketch handles + snapshots.
+
+/// Value mapping of a quantile sketch, fixed at registration.
+struct SketchOptions {
+  double relative_error = 0.01;  // alpha: quantile relative-error bound
+  double min_value = 1e-6;  // |v| below this lands in the zero bucket
+  double max_value = 1e9;   // |v| above this clamps into the edge bucket
+  bool operator==(const SketchOptions&) const = default;
+};
+
+/// Streaming quantile sketch handle. insert() is a relaxed fetch_add on
+/// the calling thread's shard; no-op when default-constructed or when
+/// observability is disabled.
+class QuantileSketch {
+ public:
+  QuantileSketch() = default;
+  void insert(double value) const noexcept;
+
+ private:
+  friend class SketchRegistry;
+  QuantileSketch(SketchRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  SketchRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Streaming moments handle (count/min/max/mean/variance feeds).
+class MomentsAccumulator {
+ public:
+  MomentsAccumulator() = default;
+  void insert(double value) const noexcept;
+
+ private:
+  friend class SketchRegistry;
+  MomentsAccumulator(SketchRegistry* registry, std::size_t id)
+      : registry_(registry), id_(id) {}
+  SketchRegistry* registry_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Merged point-in-time view of one quantile sketch. Buckets are exact
+/// integer counts, so merge() is associative/commutative bit-for-bit and
+/// snapshots are identical however the stream was sharded.
+struct SketchSnapshot {
+  std::string name;
+  SketchOptions options;
+  std::uint64_t zero_count = 0;        // |v| < min_value (including 0)
+  std::vector<std::uint64_t> negative;  // magnitude buckets, low index = small
+  std::vector<std::uint64_t> positive;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Quantile estimate over the full signed stream: negative mass (largest
+  /// magnitude first), then zeros (reported as 0.0), then positive mass.
+  /// Bucket representatives guarantee relative error <= alpha for values
+  /// inside [min_value, max_value]. Returns 0 for an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Exact merge (elementwise integer adds). Throws std::invalid_argument
+  /// when the options differ — sketches only merge within one mapping.
+  void merge(const SketchSnapshot& other);
+
+  /// One-line JSON object with sparse bucket maps; from_json inverts it
+  /// exactly (counts are integers, options round-trip via exact_number).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static SketchSnapshot from_json(std::string_view text);
+
+  bool operator==(const SketchSnapshot&) const = default;
+};
+
+/// Merged point-in-time view of one moments accumulator.
+struct MomentsSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double min = 0.0;  // meaningless when count == 0
+  double max = 0.0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance from (sum, sum_squares); clamped at 0 so float
+  /// cancellation never reports a negative spread.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  void merge(const MomentsSnapshot& other);
+};
+
+/// Snapshot of every registered summary, in registration order.
+struct SketchRegistrySnapshot {
+  std::vector<SketchSnapshot> sketches;
+  std::vector<MomentsSnapshot> moments;
+};
+
+/// The sketch registry. Most code uses the process-wide global();
+/// independent instances exist for tests. Same sharding discipline as
+/// obs::Registry: shards are created under the mutex, owned by the
+/// registry, and survive thread exit.
+class SketchRegistry {
+ public:
+  SketchRegistry();
+  ~SketchRegistry();
+  SketchRegistry(const SketchRegistry&) = delete;
+  SketchRegistry& operator=(const SketchRegistry&) = delete;
+
+  static SketchRegistry& global();
+
+  /// Registers (or finds) a sketch by name. Idempotent; re-registration
+  /// with different options throws std::invalid_argument (the mapping is
+  /// part of the sketch's identity). Options must satisfy
+  /// 0 < relative_error < 1 and 0 < min_value < max_value.
+  QuantileSketch sketch(std::string_view name, SketchOptions options = {});
+  MomentsAccumulator moments(std::string_view name);
+
+  /// Merged totals across all shards.
+  [[nodiscard]] SketchRegistrySnapshot snapshot() const;
+
+  /// Zeroes every summary (registrations stay). Only safe with no
+  /// concurrent writers — a test/CLI-epilogue operation.
+  void reset();
+
+ private:
+  friend class QuantileSketch;
+  friend class MomentsAccumulator;
+
+  struct Shard;
+  struct Impl;
+  Shard& local_shard();
+
+  Impl* impl_;
+  std::uint64_t instance_id_;
+};
+
+}  // namespace dsa::obs

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "util/env.hpp"
 #include "util/fingerprint.hpp"
 #include "util/fs.hpp"
@@ -37,6 +38,7 @@ constexpr std::uint32_t kMaxIntervalMs = 3'600'000;  // one hour
 constexpr std::size_t kMaxShardList = 64;    // full id->state entries
 constexpr std::size_t kMaxShardStrip = 512;  // one-char-per-shard strip
 constexpr std::size_t kMaxPhasePaths = 8;    // top profiler paths per sample
+constexpr std::size_t kMaxSketchNames = 16;  // sketch summaries per sample
 
 std::int64_t unix_now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -325,6 +327,58 @@ struct SamplerCore {
     }
     gauges_json += '}';
 
+    // Swarm-health sketch summaries: constant-size per sample regardless of
+    // population. One object per registered summary name; a quantile sketch
+    // contributes the configured quantile list, a moments accumulator the
+    // min/max/mean/stddev envelope (a name registered as both merges into
+    // one object). Empty summaries and the section itself are omitted so
+    // runs without sketch feeds keep their historical schema bytes.
+    std::string sketches_json;
+    {
+      const SketchRegistrySnapshot sketch_snap =
+          SketchRegistry::global().snapshot();
+      const std::vector<QuantileSpec> quantiles = export_quantiles();
+      std::map<std::string, std::pair<const SketchSnapshot*,
+                                      const MomentsSnapshot*>> by_name;
+      for (const auto& sketch : sketch_snap.sketches) {
+        if (sketch.count() > 0) by_name[sketch.name].first = &sketch;
+      }
+      for (const auto& moments : sketch_snap.moments) {
+        if (moments.count > 0) by_name[moments.name].second = &moments;
+      }
+      std::size_t emitted = 0;
+      std::string body = "{";
+      bool first_entry = true;
+      for (const auto& [sname, entry] : by_name) {
+        if (emitted >= kMaxSketchNames) break;
+        ++emitted;
+        const auto* sketch = entry.first;
+        const auto* moments = entry.second;
+        JsonObject object;
+        object.num("count", sketch != nullptr ? sketch->count()
+                                              : moments->count);
+        if (sketch != nullptr) {
+          for (const QuantileSpec& spec : quantiles) {
+            object.num(spec.label.c_str(), sketch->quantile(spec.q));
+          }
+        }
+        if (moments != nullptr) {
+          object.num("min", moments->min);
+          object.num("max", moments->max);
+          object.num("mean", moments->mean());
+          object.num("stddev", moments->stddev());
+        }
+        if (!first_entry) body += ',';
+        first_entry = false;
+        body += '"';
+        body += util::json::escape(sname);
+        body += "\":";
+        body += object.finish();
+      }
+      body += '}';
+      if (!first_entry) sketches_json = std::move(body);
+    }
+
     // Copy the rarely-written strings/shards under the run's own lock.
     std::string phase;
     std::string last_error;
@@ -406,6 +460,7 @@ struct SamplerCore {
     }
     heartbeat.raw("counters", counters_json);
     heartbeat.raw("gauges", gauges_json);
+    if (!sketches_json.empty()) heartbeat.raw("sketches", sketches_json);
     util::atomic_write(run.status_path, heartbeat.finish() + "\n");
 
     // (b) Time-series: append-only, so the series survives (and spans)
@@ -445,6 +500,7 @@ struct SamplerCore {
         }
         line.raw("phases_ms", phase_obj.finish());
       }
+      if (!sketches_json.empty()) line.raw("sketches", sketches_json);
       std::ofstream series(run.timeseries_path,
                            std::ios::app | std::ios::binary);
       if (series) {
@@ -786,7 +842,82 @@ StatusFile load_status_file(const std::filesystem::path& path) {
       }
     }
   }
+  if (const auto* sketches = find_field(root, "sketches");
+      sketches != nullptr &&
+      sketches->type == util::json::Value::Type::kObject) {
+    for (const auto& [sketch_name, fields] : sketches->members) {
+      if (fields.type != util::json::Value::Type::kObject) continue;
+      auto& into = status.sketches[sketch_name];
+      for (const auto& [key, value] : fields.members) {
+        if (value.type == util::json::Value::Type::kNumber) {
+          into[key] = value.number;
+        }
+      }
+    }
+  }
   return status;
+}
+
+std::vector<TimeseriesSample> load_timeseries(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(path.string() + ": cannot open time-series file");
+  }
+  std::vector<TimeseriesSample> samples;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    util::json::Value root;
+    try {
+      root = util::json::parse(line);
+    } catch (const std::exception& error) {
+      throw std::runtime_error(path.string() + ":" + std::to_string(line_no) +
+                               ": " + error.what());
+    }
+    if (root.type != util::json::Value::Type::kObject ||
+        read_string(root, "type") != "telemetry") {
+      continue;
+    }
+    TimeseriesSample sample;
+    sample.seq = read_u64(root, "seq");
+    sample.uptime_sec = read_double(root, "uptime_sec");
+    sample.jobs_done = read_u64(root, "jobs_done");
+    if (const auto* deltas = find_field(root, "counters_delta");
+        deltas != nullptr && deltas->type == util::json::Value::Type::kObject) {
+      for (const auto& [key, value] : deltas->members) {
+        if (value.type == util::json::Value::Type::kNumber) {
+          sample.counters_delta[key] =
+              static_cast<std::uint64_t>(value.number);
+        }
+      }
+    }
+    if (const auto* gauges = find_field(root, "gauges");
+        gauges != nullptr && gauges->type == util::json::Value::Type::kObject) {
+      for (const auto& [key, value] : gauges->members) {
+        if (value.type == util::json::Value::Type::kNumber) {
+          sample.gauges[key] = value.number;
+        }
+      }
+    }
+    if (const auto* sketches = find_field(root, "sketches");
+        sketches != nullptr &&
+        sketches->type == util::json::Value::Type::kObject) {
+      for (const auto& [sketch_name, fields] : sketches->members) {
+        if (fields.type != util::json::Value::Type::kObject) continue;
+        auto& into = sample.sketches[sketch_name];
+        for (const auto& [key, value] : fields.members) {
+          if (value.type == util::json::Value::Type::kNumber) {
+            into[key] = value.number;
+          }
+        }
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
 }
 
 bool pid_alive(std::int64_t pid) noexcept {

@@ -202,6 +202,8 @@ struct StatusFile {
   std::map<std::string, std::uint64_t> shard_counts;  // state -> count
   std::map<std::string, std::uint64_t> counters;      // cumulative values
   std::map<std::string, double> gauges;
+  // Sketch summaries: name -> {"count","p50",...,"mean",...} field map.
+  std::map<std::string, std::map<std::string, double>> sketches;
 };
 
 /// Health classification of a run as seen through its heartbeat.
@@ -219,6 +221,25 @@ enum class RunHealth : std::uint8_t {
 /// std::runtime_error on unreadable or malformed files; schema mismatches
 /// (wrong "type") throw std::runtime_error naming the path.
 [[nodiscard]] StatusFile load_status_file(const std::filesystem::path& path);
+
+/// One parsed line of a STATUS_<name>.timeseries.jsonl file — the fields
+/// the health-timeline report consumes. Absent fields keep their zero
+/// defaults; unknown fields are ignored (schema may grow).
+struct TimeseriesSample {
+  std::uint64_t seq = 0;
+  double uptime_sec = 0.0;
+  std::uint64_t jobs_done = 0;
+  std::map<std::string, std::uint64_t> counters_delta;
+  std::map<std::string, double> gauges;
+  // Sketch summaries at this sample: name -> {"count","p50",...} field map.
+  std::map<std::string, std::map<std::string, double>> sketches;
+};
+
+/// Parses a telemetry time-series JSONL file in line order. Lines whose
+/// "type" is not "telemetry" are skipped; malformed JSON throws
+/// util::json::ParseError naming the offending line number via the path.
+[[nodiscard]] std::vector<TimeseriesSample> load_timeseries(
+    const std::filesystem::path& path);
 
 /// True when `pid` names a live process (signal-0 probe; EPERM counts as
 /// alive). Always false for pid <= 0.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -577,6 +578,70 @@ std::string render_fault_impact(std::span<const obs::Event> worst,
   if (unfinished > 0) {
     out << unfinished
         << " leecher(s) never finished under the worst schedule\n";
+  }
+  return std::move(out).str();
+}
+
+std::string render_health_timeline(
+    std::span<const obs::TimeseriesSample> samples) {
+  // Union of metric names and of each metric's field keys across all
+  // samples, so a metric that appears mid-run still gets full columns.
+  std::map<std::string, std::set<std::string>> fields_by_metric;
+  for (const obs::TimeseriesSample& sample : samples) {
+    for (const auto& [metric, fields] : sample.sketches) {
+      for (const auto& [key, value] : fields) {
+        fields_by_metric[metric].insert(key);
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "\nSwarm-health timelines (" << samples.size() << " samples):\n";
+  if (fields_by_metric.empty()) {
+    out << "  (no sketch sections in this time-series; run with\n"
+           "   DSA_STATUS=on and metric feeds enabled)\n";
+    return std::move(out).str();
+  }
+
+  for (const auto& [metric, keys] : fields_by_metric) {
+    // Stable column order: count, quantiles (map order sorts p50 < p90 <
+    // p99 < p999), then the moment fields.
+    std::vector<std::string> columns;
+    if (keys.count("count") != 0) columns.push_back("count");
+    for (const std::string& key : keys) {
+      if (!key.empty() && key[0] == 'p') columns.push_back(key);
+    }
+    for (const char* moment : {"min", "mean", "max", "stddev"}) {
+      if (keys.count(moment) != 0) columns.push_back(moment);
+    }
+    for (const std::string& key : keys) {
+      if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+        columns.push_back(key);
+      }
+    }
+
+    out << "\n" << metric << ":\n";
+    std::vector<std::string> header = {"sample", "uptime (s)"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    util::TablePrinter table(header);
+    for (const obs::TimeseriesSample& sample : samples) {
+      const auto entry = sample.sketches.find(metric);
+      if (entry == sample.sketches.end()) continue;
+      std::vector<std::string> row = {std::to_string(sample.seq),
+                                      util::fixed(sample.uptime_sec, 1)};
+      for (const std::string& column : columns) {
+        const auto field = entry->second.find(column);
+        if (field == entry->second.end()) {
+          row.push_back("-");
+        } else if (column == "count") {
+          row.push_back(util::fixed(field->second, 0));
+        } else {
+          row.push_back(util::fixed(field->second, 4));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(out);
   }
   return std::move(out).str();
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "swarming/pra_dataset.hpp"
 #include "util/csv.hpp"
 
@@ -142,5 +143,15 @@ std::string render_fault_timeline(std::span<const obs::Event> events);
 /// that never finished render "-" and are excluded from the means.
 std::string render_fault_impact(std::span<const obs::Event> worst,
                                 std::span<const obs::Event> baseline);
+
+// ------------------------------------------------- health timelines (obs)
+
+/// Renders the per-interval swarm-health timelines of one telemetry
+/// time-series (obs::load_timeseries): one table per sketch metric, a row
+/// per sample carrying the sketch's count plus its quantile/moment
+/// columns — the `dsa_cli report --health` view. Pure function of the
+/// samples; renders a placeholder note when no sample carries sketches.
+std::string render_health_timeline(
+    std::span<const obs::TimeseriesSample> samples);
 
 }  // namespace dsa::report

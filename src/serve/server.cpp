@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "report/report.hpp"
 #include "scenario/exec.hpp"
 #include "scenario/runner.hpp"
@@ -138,6 +139,7 @@ void Server::handle_query(util::LineSocket& connection,
                           std::mutex& write_mutex,
                           const std::string& spec_text,
                           const std::string& want) {
+  DSA_OBS_PHASE("serve/query");
   const auto query_start = std::chrono::steady_clock::now();
   scenario::Plan plan;
   scenario::Plan canonical;
@@ -157,13 +159,16 @@ void Server::handle_query(util::LineSocket& connection,
   std::vector<JobRows> results(total);
   std::vector<std::size_t> pending;
   std::size_t cached = 0;
-  for (std::size_t i = 0; i < total; ++i) {
-    if (std::optional<JobRows> rows =
-            cache_.lookup(canonical.jobs[i].fingerprint)) {
-      results[i] = std::move(*rows);
-      ++cached;
-    } else {
-      pending.push_back(i);
+  {
+    DSA_OBS_PHASE("serve/cache-hit");
+    for (std::size_t i = 0; i < total; ++i) {
+      if (std::optional<JobRows> rows =
+              cache_.lookup(canonical.jobs[i].fingerprint)) {
+        results[i] = std::move(*rows);
+        ++cached;
+      } else {
+        pending.push_back(i);
+      }
     }
   }
 
@@ -171,6 +176,7 @@ void Server::handle_query(util::LineSocket& connection,
   // its job lines are fingerprint-verified against the plan, then adopted
   // into the cache under the canonical keys.
   if (!pending.empty()) {
+    DSA_OBS_PHASE("serve/cache-miss");
     const scenario::ManifestData manifest =
         load_manifest(plan, manifest_path(plan));
     if (manifest.header_ok) {
@@ -224,6 +230,7 @@ void Server::handle_query(util::LineSocket& connection,
       const auto start = std::chrono::steady_clock::now();
       std::uint64_t done_now = 0;
       try {
+        DSA_OBS_PHASE("serve/execute");
         JobRows rows = scenario::execute_job(plan.spec, plan.jobs[i]);
         const double wall_ms = std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - start)

@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "swarming/bandwidth.hpp"
 #include "util/rng.hpp"
 
@@ -144,21 +145,24 @@ class SwarmEngine {
     }
     SwarmResult result;
     std::size_t tick = 0;
-    for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
-      tick_ = static_cast<std::uint32_t>(tick);
-      record_full_tick_ = capture_.full() && capture_.sampled(tick_);
-      apply_faults(tick);
-      process_arrivals(tick);
-      if (tick % config_.rechoke_interval == 0) rechoke();
-      tick_transferred_ = 0.0;
-      transfer(tick);
-      if (plan_.piece_timeout_ticks > 0) expire_timeouts(tick);
-      process_departures();
-      if (tick_transferred_ == 0.0 && any_active_incomplete()) {
-        ++stats_.stall_ticks;
-      }
-      if (config_.record_series) {
-        result.series.push_back(snapshot());
+    {
+      DSA_OBS_PHASE("swarm/ticks");
+      for (; tick < config_.max_ticks && incomplete_leechers() > 0; ++tick) {
+        tick_ = static_cast<std::uint32_t>(tick);
+        record_full_tick_ = capture_.full() && capture_.sampled(tick_);
+        apply_faults(tick);
+        process_arrivals(tick);
+        if (tick % config_.rechoke_interval == 0) rechoke();
+        tick_transferred_ = 0.0;
+        transfer(tick);
+        if (plan_.piece_timeout_ticks > 0) expire_timeouts(tick);
+        process_departures();
+        if (tick_transferred_ == 0.0 && any_active_incomplete()) {
+          ++stats_.stall_ticks;
+        }
+        if (config_.record_series) {
+          result.series.push_back(snapshot());
+        }
       }
     }
     result.completion_time.resize(n_ - 1);
@@ -210,6 +214,68 @@ class SwarmEngine {
   }
 
  private:
+  // --- health sketches ----------------------------------------------------
+  // Pure observers feeding the swarm-health timelines: never touch rng_,
+  // fault_rng_, or any simulation state, so results are bitwise-identical
+  // with observability on or off.
+
+  /// Download progress (completed-piece fraction) of one leecher, sampled
+  /// every time it finishes a piece.
+  void observe_progress(std::size_t receiver) {
+    if (!obs::enabled()) return;
+    static const obs::QuantileSketch sketch =
+        obs::SketchRegistry::global().sketch("swarm.progress");
+    static const obs::MomentsAccumulator moments =
+        obs::SketchRegistry::global().moments("swarm.progress");
+    const double fraction = static_cast<double>(have_count_[receiver]) /
+                            static_cast<double>(pieces_);
+    sketch.insert(fraction);
+    moments.insert(fraction);
+  }
+
+  /// Upload-capacity utilization of every active peer over the choke window
+  /// that just closed (recv_prev_ after the window roll). Sampled once per
+  /// choke round.
+  void observe_peer_utilization() {
+    if (!obs::enabled()) return;
+    static const obs::QuantileSketch sketch =
+        obs::SketchRegistry::global().sketch("swarm.peer_util");
+    static const obs::MomentsAccumulator moments =
+        obs::SketchRegistry::global().moments("swarm.peer_util");
+    const double window =
+        static_cast<double>(config_.rechoke_interval);
+    for (std::size_t sender = 0; sender < n_; ++sender) {
+      if (!active_[sender] || !(capacity_[sender] > 0.0)) continue;
+      double sent = 0.0;
+      for (std::size_t receiver = 0; receiver < n_; ++receiver) {
+        sent += recv_prev_[receiver * n_ + sender];
+      }
+      const double utilization = sent / (capacity_[sender] * window);
+      sketch.insert(utilization);
+      moments.insert(utilization);
+    }
+  }
+
+  /// Fraction of a leecher's fresh unchoke list that was not unchoked in
+  /// the previous round (prev_unchoked_ snapshot). 0 = stable partners,
+  /// 1 = full churn.
+  void observe_switch_rate(const std::vector<std::uint32_t>& fresh) {
+    static const obs::QuantileSketch sketch =
+        obs::SketchRegistry::global().sketch("swarm.switch_rate");
+    static const obs::MomentsAccumulator moments =
+        obs::SketchRegistry::global().moments("swarm.switch_rate");
+    std::size_t switched = 0;
+    for (std::uint32_t peer : fresh) {
+      if (std::find(prev_unchoked_.begin(), prev_unchoked_.end(), peer) ==
+          prev_unchoked_.end()) {
+        ++switched;
+      }
+    }
+    const double rate =
+        static_cast<double>(switched) / static_cast<double>(fresh.size());
+    sketch.insert(rate);
+    moments.insert(rate);
+  }
   void process_arrivals(std::size_t tick) {
     for (std::size_t i = 1; i < n_; ++i) {
       if (active_[i] || is_complete(i)) continue;
@@ -402,6 +468,7 @@ class SwarmEngine {
   // --- choke rounds ------------------------------------------------------
 
   void rechoke() {
+    DSA_OBS_PHASE("swarm/choke");
     // Fresh random ranking tie-breaks each choke round; a fixed order would
     // funnel every all-zero-tied choice onto the same peers.
     for (auto& priority : tie_priority_) {
@@ -413,6 +480,7 @@ class SwarmEngine {
     for (std::size_t idx = 0; idx < n_ * n_; ++idx) {
       streak_[idx] = recv_prev_[idx] > 0.0 ? streak_[idx] + 1 : 0;
     }
+    observe_peer_utilization();
 
     for (std::size_t i = 0; i < n_; ++i) {
       if (!active_[i]) continue;
@@ -484,7 +552,10 @@ class SwarmEngine {
                                   : config_.regular_slots;
     const std::size_t picked = std::min(slots, candidates_.size());
     rank_candidates(i, variant, picked);
+    const bool observe = obs::enabled() && picked > 0;
+    if (observe) prev_unchoked_ = unchoked_[i];
     unchoked_[i].assign(candidates_.begin(), candidates_.begin() + picked);
+    if (observe) observe_switch_rate(unchoked_[i]);
 
     update_optimistic(i, variant, slots);
 
@@ -605,6 +676,7 @@ class SwarmEngine {
   // --- transfers ----------------------------------------------------------
 
   void transfer(std::size_t tick) {
+    DSA_OBS_PHASE("swarm/transfer");
     for (std::size_t sender = 0; sender < n_; ++sender) {
       if (!active_[sender] || have_count_[sender] == 0) continue;
 
@@ -696,6 +768,7 @@ class SwarmEngine {
     have_[receiver * pieces_ + piece] = 1;
     ++have_count_[receiver];
     ++availability_[piece];
+    observe_progress(receiver);
     if (record_full_tick_) {
       capture_.emit({.kind = obs::EventKind::kPiece,
                      .run = config_.seed,
@@ -782,6 +855,9 @@ class SwarmEngine {
   std::vector<std::uint32_t> scratch_;
   std::vector<std::uint32_t> targets_;
   std::vector<std::uint32_t> departing_;
+  // Previous-round unchoke list, captured only while obs::enabled() so the
+  // switch-rate sketch can diff against it. Never read by the simulation.
+  std::vector<std::uint32_t> prev_unchoked_;
 
   // Flight recorder: level/stride latched at construction, events buffered
   // locally and flushed once when the engine dies. Never touches rng_ or

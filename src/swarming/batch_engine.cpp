@@ -194,31 +194,37 @@ class BatchEngine {
                             .detail = captures_[w]->context()});
       }
     }
-    for (std::size_t round = 0; round < config_.rounds; ++round) {
-      step(round);
-      if (config_.record_round_series) {
-        for (std::size_t w = 0; w < W_; ++w) {
-          double round_mean = 0.0;
-          for (std::size_t i = 0; i < n_; ++i) {
-            round_mean += ws_.round_received[i * W_ + w];
+    {
+      // Inner-loop span for the wall-clock sampler: one scope over the
+      // whole lockstep round loop, so batch samples attribute as
+      // sim/run;sim/rounds like the scalar engines.
+      DSA_OBS_PHASE("sim/rounds");
+      for (std::size_t round = 0; round < config_.rounds; ++round) {
+        step(round);
+        if (config_.record_round_series) {
+          for (std::size_t w = 0; w < W_; ++w) {
+            double round_mean = 0.0;
+            for (std::size_t i = 0; i < n_; ++i) {
+              round_mean += ws_.round_received[i * W_ + w];
+            }
+            outcomes[w].round_throughput.push_back(round_mean /
+                                                   static_cast<double>(n_));
           }
-          outcomes[w].round_throughput.push_back(round_mean /
-                                                 static_cast<double>(n_));
         }
-      }
-      if (captures_.front()->rounds() && captures_.front()->sampled(round)) {
-        for (std::size_t w = 0; w < W_; ++w) {
-          double round_mean = 0.0;
-          for (std::size_t i = 0; i < n_; ++i) {
-            round_mean += ws_.round_received[i * W_ + w];
+        if (captures_.front()->rounds() && captures_.front()->sampled(round)) {
+          for (std::size_t w = 0; w < W_; ++w) {
+            double round_mean = 0.0;
+            for (std::size_t i = 0; i < n_; ++i) {
+              round_mean += ws_.round_received[i * W_ + w];
+            }
+            captures_[w]->emit(
+                {.kind = obs::EventKind::kRound,
+                 .run = lanes_[w].seed,
+                 .time = static_cast<std::uint32_t>(round),
+                 .value = {{round_mean / static_cast<double>(n_),
+                            static_cast<double>(peers_replaced_[w]), 0.0,
+                            0.0}}});
           }
-          captures_[w]->emit(
-              {.kind = obs::EventKind::kRound,
-               .run = lanes_[w].seed,
-               .time = static_cast<std::uint32_t>(round),
-               .value = {{round_mean / static_cast<double>(n_),
-                          static_cast<double>(peers_replaced_[w]), 0.0,
-                          0.0}}});
         }
       }
     }
@@ -230,6 +236,7 @@ class BatchEngine {
             static_cast<double>(config_.rounds);
       }
       outcomes[w].peers_replaced = peers_replaced_[w];
+      observe_score_spread(outcomes[w].peer_throughput);
       if (captures_[w]->rounds()) {
         for (std::size_t i = 0; i < n_; ++i) {
           captures_[w]->emit(

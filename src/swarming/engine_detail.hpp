@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "swarming/simulator.hpp"
 
 namespace dsa::swarming {
@@ -122,5 +124,21 @@ struct SimWorkspace::Impl {
     candidate_window.reserve(n);
   }
 };
+
+/// Streams one finished run's per-peer score spread into the swarm-health
+/// sketches ("sim.score" quantiles + moments). Shared by all three engines
+/// so the telemetry timeline reads the same regardless of engine choice;
+/// pure observer — never touches RNG or outcome values.
+inline void observe_score_spread(const std::vector<double>& peer_throughput) {
+  if (!obs::enabled()) return;
+  static const obs::QuantileSketch score =
+      obs::SketchRegistry::global().sketch("sim.score");
+  static const obs::MomentsAccumulator spread =
+      obs::SketchRegistry::global().moments("sim.score");
+  for (double value : peer_throughput) {
+    score.insert(value);
+    spread.insert(value);
+  }
+}
 
 }  // namespace dsa::swarming

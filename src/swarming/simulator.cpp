@@ -119,23 +119,29 @@ class DenseEngine {
                      .label = "round",
                      .detail = capture_.context()});
     }
-    for (std::size_t round = 0; round < config_.rounds; ++round) {
-      step(round);
-      if (config_.record_round_series) {
-        double round_mean = 0.0;
-        for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
-        outcome.round_throughput.push_back(round_mean /
-                                           static_cast<double>(n_));
-      }
-      if (capture_.rounds() && capture_.sampled(round)) {
-        double round_mean = 0.0;
-        for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
-        capture_.emit({.kind = obs::EventKind::kRound,
-                       .run = config_.seed,
-                       .time = static_cast<std::uint32_t>(round),
-                       .value = {{round_mean / static_cast<double>(n_),
-                                  static_cast<double>(peers_replaced_), 0.0,
-                                  0.0}}});
+    {
+      // The inner-loop span: a wall-clock sample landing anywhere in the
+      // round loop attributes as sim/run;sim/rounds (one span per run, so
+      // the disabled path stays a single branch).
+      DSA_OBS_PHASE("sim/rounds");
+      for (std::size_t round = 0; round < config_.rounds; ++round) {
+        step(round);
+        if (config_.record_round_series) {
+          double round_mean = 0.0;
+          for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
+          outcome.round_throughput.push_back(round_mean /
+                                             static_cast<double>(n_));
+        }
+        if (capture_.rounds() && capture_.sampled(round)) {
+          double round_mean = 0.0;
+          for (std::size_t i = 0; i < n_; ++i) round_mean += round_received_[i];
+          capture_.emit({.kind = obs::EventKind::kRound,
+                         .run = config_.seed,
+                         .time = static_cast<std::uint32_t>(round),
+                         .value = {{round_mean / static_cast<double>(n_),
+                                    static_cast<double>(peers_replaced_), 0.0,
+                                    0.0}}});
+        }
       }
     }
     outcome.peer_throughput.resize(n_);
@@ -144,6 +150,7 @@ class DenseEngine {
           total_received_[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    observe_score_spread(outcome.peer_throughput);
     if (capture_.rounds()) {
       for (std::size_t i = 0; i < n_; ++i) {
         capture_.emit({.kind = obs::EventKind::kPeer,
@@ -673,27 +680,30 @@ class SparseEngine {
                      .label = "round",
                      .detail = capture_.context()});
     }
-    for (std::size_t round = 0; round < config_.rounds; ++round) {
-      step(round);
-      if (config_.record_round_series) {
-        double round_mean = 0.0;
-        for (std::size_t i = 0; i < n_; ++i) {
-          round_mean += ws_.round_received[i];
+    {
+      DSA_OBS_PHASE("sim/rounds");
+      for (std::size_t round = 0; round < config_.rounds; ++round) {
+        step(round);
+        if (config_.record_round_series) {
+          double round_mean = 0.0;
+          for (std::size_t i = 0; i < n_; ++i) {
+            round_mean += ws_.round_received[i];
+          }
+          outcome.round_throughput.push_back(round_mean /
+                                             static_cast<double>(n_));
         }
-        outcome.round_throughput.push_back(round_mean /
-                                           static_cast<double>(n_));
-      }
-      if (capture_.rounds() && capture_.sampled(round)) {
-        double round_mean = 0.0;
-        for (std::size_t i = 0; i < n_; ++i) {
-          round_mean += ws_.round_received[i];
+        if (capture_.rounds() && capture_.sampled(round)) {
+          double round_mean = 0.0;
+          for (std::size_t i = 0; i < n_; ++i) {
+            round_mean += ws_.round_received[i];
+          }
+          capture_.emit({.kind = obs::EventKind::kRound,
+                         .run = config_.seed,
+                         .time = static_cast<std::uint32_t>(round),
+                         .value = {{round_mean / static_cast<double>(n_),
+                                    static_cast<double>(peers_replaced_), 0.0,
+                                    0.0}}});
         }
-        capture_.emit({.kind = obs::EventKind::kRound,
-                       .run = config_.seed,
-                       .time = static_cast<std::uint32_t>(round),
-                       .value = {{round_mean / static_cast<double>(n_),
-                                  static_cast<double>(peers_replaced_), 0.0,
-                                  0.0}}});
       }
     }
     outcome.peer_throughput.resize(n_);
@@ -702,6 +712,7 @@ class SparseEngine {
           ws_.total_received[i] / static_cast<double>(config_.rounds);
     }
     outcome.peers_replaced = peers_replaced_;
+    observe_score_spread(outcome.peer_throughput);
     if (capture_.rounds()) {
       for (std::size_t i = 0; i < n_; ++i) {
         capture_.emit({.kind = obs::EventKind::kPeer,

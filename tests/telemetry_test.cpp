@@ -380,10 +380,15 @@ TEST_F(TelemetryTest, FindStatusFilesScansDirectoriesAndAcceptsFiles) {
 TEST_F(TelemetryTest, ConfigureAndRunRegistrationRaceIsSafe) {
   obs::Telemetry telemetry;
   std::vector<std::thread> threads;
+  // Disabled options must still point at the test dir: finish_run's
+  // terminal heartbeat is unconditional, so a default-constructed dir
+  // ("results") would leak race*.status.json into the working tree.
+  obs::TelemetryOptions disabled;
+  disabled.dir = dir_;
   threads.emplace_back([&] {
     for (int i = 0; i < 60; ++i) {
       telemetry.configure(enabled_options(1));
-      telemetry.configure(obs::TelemetryOptions{});  // disabled
+      telemetry.configure(disabled);
     }
     telemetry.configure(enabled_options(1));
   });

@@ -46,10 +46,12 @@
 #include "explore/explore.hpp"
 #include "fault/fault_plan.hpp"
 #include "gametheory/expected_wins.hpp"
+#include "obs/flame/flame.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
+#include "obs/sketch/sketch.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "report/report.hpp"
@@ -251,7 +253,8 @@ const util::HelpIndex& help_index() {
        "                   group series by it\n\n"
        "example: dsa_cli record --out r.jsonl --context demo swarm --runs 3\n"},
       {"report", "render figure tables from a recording",
-       "usage: dsa_cli report <recording.jsonl> [--table T]\n\n"
+       "usage: dsa_cli report <recording.jsonl> [--table T]\n"
+       "       dsa_cli report --health <STATUS_run.timeseries.jsonl>\n\n"
        "Aggregate a flight recording into paper-figure-ready tables:\n"
        "  summary  event/run counts per kind\n"
        "  fig5     stranger-policy robustness CCDF (Fig. 5, from pra\n"
@@ -262,7 +265,23 @@ const util::HelpIndex& help_index() {
        "  swarm    download-time summary per client variant (Fig. 10)\n"
        "  all      every table that has matching events (default)\n\n"
        "The fig5/fig9 tables are byte-identical to what the corresponding\n"
-       "benches print when both consume the same events.\n"},
+       "benches print when both consume the same events.\n\n"
+       "--health instead renders the swarm-health timelines of a live-\n"
+       "telemetry time-series (written under DSA_STATUS=on): one table per\n"
+       "streaming sketch (download progress, per-peer utilization, partner\n"
+       "switch rate, score spread, ...) with per-interval quantile and\n"
+       "moment columns.\n"},
+      {"flame", "render a collapsed-stack profile as a terminal flamegraph",
+       "usage: dsa_cli flame <profile.folded> [--min-attribution X]\n\n"
+       "Render a collapsed-stack file written by the wall-clock sampling\n"
+       "profiler (DSA_PROF=on, any command; results/PROF_<command>.folded\n"
+       "by default) as an indented tree with per-phase sample counts,\n"
+       "percentages, and bars, plus the hottest stacks. The same file\n"
+       "loads directly into flamegraph.pl or https://speedscope.app.\n\n"
+       "flags:\n"
+       "  --min-attribution X  exit 1 when the fraction of non-idle\n"
+       "                       samples attributed below a root phase is\n"
+       "                       less than X (0..1; CI holds sweeps to 0.9)\n"},
       {"serve", "resident query daemon with a result cache",
        "usage: dsa_cli serve [--socket PATH] [--threads N] [--cache-mb N]\n"
        "                     [--store FILE] [--quiet]\n\n"
@@ -1153,11 +1172,35 @@ int cmd_record(int argc, char** argv) {
 }
 
 int cmd_report(const util::CliArgs& args) {
-  const std::string path = args.positional(0);
   const std::string table = args.get("table", "all");
+  const bool health = args.has("health");
+  // `report --health <file>` binds the path as the flag's value while
+  // `report <file> --health` leaves it positional; accept both spellings.
+  std::string path = args.positional(0);
+  if (health && path.empty()) {
+    try {
+      path = args.get("health", "");
+    } catch (const std::invalid_argument&) {
+      // bare --health with no operand: fall through to the usage error
+    }
+  }
   reject_unknown_flags(args);
   if (path.empty()) {
-    usage("report needs a recording: dsa_cli report <recording.jsonl>");
+    usage(health ? "report --health needs a time-series: dsa_cli report "
+                   "--health <STATUS_run.timeseries.jsonl>"
+                 : "report needs a recording: dsa_cli report "
+                   "<recording.jsonl>");
+  }
+  if (health) {
+    try {
+      const std::vector<obs::TimeseriesSample> samples =
+          obs::load_timeseries(path);
+      std::cout << report::render_health_timeline(samples);
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
   }
   const std::set<std::string> known = {"all",  "summary", "fig5",
                                       "fig9", "pra",     "wins",
@@ -1202,6 +1245,47 @@ int cmd_report(const util::CliArgs& args) {
     }
     if (table == "swarm" || (all && has_kind(obs::EventKind::kLeecher))) {
       std::cout << report::render_swarm_times(recording.events);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
+
+int cmd_flame(const util::CliArgs& args) {
+  const std::string path = args.positional(0);
+  const std::string floor_text = args.get("min-attribution", "");
+  reject_unknown_flags(args);
+  if (path.empty()) {
+    usage("flame needs a collapsed-stack file: dsa_cli flame "
+          "<profile.folded>");
+  }
+  double floor = -1.0;
+  if (!floor_text.empty()) {
+    try {
+      std::size_t used = 0;
+      floor = std::stod(floor_text, &used);
+      if (used != floor_text.size() || !(floor >= 0.0) || floor > 1.0) {
+        throw std::invalid_argument(floor_text);
+      }
+    } catch (const std::exception&) {
+      usage("--min-attribution must be a fraction in [0, 1], got '" +
+            floor_text + "'");
+    }
+  }
+  try {
+    const obs::FoldedStacks stacks = obs::load_folded(path);
+    std::cout << obs::render_flame(stacks);
+    if (floor >= 0.0) {
+      const obs::FlameSummary summary = obs::summarize_folded(stacks);
+      if (summary.attribution() < floor) {
+        std::fprintf(stderr,
+                     "flame: attribution %.1f%% is below the required "
+                     "%.1f%%\n",
+                     100.0 * summary.attribution(), 100.0 * floor);
+        return 1;
+      }
     }
     return 0;
   } catch (const std::exception& error) {
@@ -1603,6 +1687,21 @@ void render_top_run(const obs::StatusFile& s, obs::RunHealth health,
     }
     *out += "\n";
   }
+  // Sketch-backed health summaries (count first, then the quantile and
+  // moment fields in map order).
+  for (const auto& [metric, fields] : s.sketches) {
+    std::string row = "  " + metric + ":";
+    if (const auto count = fields.find("count"); count != fields.end()) {
+      std::snprintf(line, sizeof(line), " n=%.0f", count->second);
+      row += line;
+    }
+    for (const auto& [key, value] : fields) {
+      if (key == "count") continue;
+      std::snprintf(line, sizeof(line), " %s=%.4g", key.c_str(), value);
+      row += line;
+    }
+    *out += row + "\n";
+  }
   if (!s.last_error.empty()) {
     *out += "  last error: " + s.last_error + "\n";
   }
@@ -1685,6 +1784,19 @@ int cmd_version() {
               "                   (DSA_STATUS_INTERVAL_MS, DSA_STATUS_DIR; "
               "metric feeds %s)\n",
               DSA_OBS_COMPILED_IN != 0 ? "compiled in" : "compiled out");
+  std::printf("  profiler:        DSA_PROF=on enables wall-clock stack "
+              "sampling -> collapsed\n"
+              "                   stacks (DSA_PROF_HZ default 97, "
+              "DSA_PROF_OUT; render with\n"
+              "                   `dsa_cli flame`; live-stack depth %zu; "
+              "phases %s)\n",
+              obs::Profiler::kMaxLiveDepth,
+              DSA_OBS_COMPILED_IN != 0 ? "compiled in" : "compiled out");
+  std::printf("  sketches:        streaming quantile/moments summaries feed "
+              "health timelines\n"
+              "                   (DSA_METRICS_QUANTILES, default p50,p90,p99;"
+              " `dsa_cli report\n"
+              "                   --health`)\n");
   std::printf("  serve daemon:    compiled in (dsa_cli serve / query over a "
               "unix socket;\n"
               "                   content-addressed result cache, JSONL "
@@ -1729,6 +1841,7 @@ int dispatch(const std::string& command, const util::CliArgs& args) {
   if (command == "run") return cmd_run(args);
   if (command == "explore") return cmd_explore(args);
   if (command == "report") return cmd_report(args);
+  if (command == "flame") return cmd_flame(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "query") return cmd_query(args);
   if (command == "status") return cmd_status(args);
@@ -1751,8 +1864,33 @@ int main(int argc, char** argv) {
     // strict parsing means a misspelled value aborts with a named error.
     obs::Telemetry::global().configure(
         obs::TelemetryOptions::from_environment());
+    // DSA_METRICS_QUANTILES picks the quantiles every exporter renders
+    // (metrics JSONL, telemetry sketch sections, bench summaries).
+    obs::set_export_quantiles(obs::quantiles_from_environment());
+    // DSA_PROF=on starts the wall-clock sampling profiler for any command.
+    // Unless DSA_PROF_OUT says otherwise, the collapsed stacks land in
+    // results/PROF_<command>.folded.
+    obs::FlameOptions prof = obs::FlameOptions::from_environment();
+    if (prof.enabled && util::env_string("DSA_PROF_OUT", "").empty() &&
+        argc >= 2) {
+      prof.out = "results/PROF_" + obs::sanitize_run_name(argv[1]) + ".folded";
+    }
+    obs::FlameSampler::global().configure(prof);
+    const auto flame_epilogue = [&prof] {
+      if (!prof.enabled) return;
+      const std::uint64_t samples =
+          obs::FlameSampler::global().stop_and_write();
+      if (samples > 0) {
+        std::fprintf(
+            stderr, "prof: %llu samples -> %s (render with `dsa_cli flame`)\n",
+            static_cast<unsigned long long>(samples),
+            prof.out.string().c_str());
+      }
+    };
     if (argc >= 2 && std::string(argv[1]) == "record") {
-      return cmd_record(argc - 2, argv + 2);
+      const int rc = cmd_record(argc - 2, argv + 2);
+      flame_epilogue();
+      return rc;
     }
 
     const util::CliArgs args = util::CliArgs::parse(argc - 1, argv + 1);
@@ -1766,7 +1904,12 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) obs::TraceSink::global().start(trace_path);
     if (!metrics_path.empty()) obs::set_enabled(true);
 
-    const int rc = dispatch(args.subcommand(), args);
+    // The command name becomes the root phase on the main thread, so every
+    // sampled stack (and the phase report) hangs below one root.
+    const int rc = [&] {
+      obs::ScopedPhase root_phase(args.subcommand());
+      return dispatch(args.subcommand(), args);
+    }();
 
     if (!trace_path.empty()) {
       const std::size_t events = obs::TraceSink::global().stop_and_write();
@@ -1778,6 +1921,7 @@ int main(int argc, char** argv) {
       obs::Registry::global().snapshot().save_jsonl(metrics_path);
       std::fprintf(stderr, "metrics: wrote %s\n", metrics_path.c_str());
     }
+    flame_epilogue();
     return rc;
   } catch (const std::exception& error) {
     usage(error.what());
